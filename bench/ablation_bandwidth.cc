@@ -1,0 +1,41 @@
+// Ablation A9 — bandwidth sensitivity: where SOPHON helps and where it
+// correctly does nothing.
+//
+// Paper §5: SOPHON targets remote-I/O-bound training; on a fast enough link
+// the stage-1 profiler must classify the workload as GPU/CPU-bound and
+// decline to offload (FastFlow-like behaviour would be a bug). The sweep
+// shows the benefit shrinking with bandwidth and SOPHON bowing out cleanly.
+#include "bench_common.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A9 — link bandwidth sweep (OpenImages, ResNet18/V100)",
+                      "paper §5: no benefit when remote I/O is not the bottleneck; SOPHON "
+                      "must decline via stage-1 profiling");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+
+  TextTable table({"bandwidth", "No-Off epoch", "SOPHON epoch", "speedup", "offloaded",
+                   "SOPHON rationale"});
+  for (const double mbps : {100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0}) {
+    auto config = bench::paper_config(48);
+    config.cluster.bandwidth = Bandwidth::mbps(mbps);
+    config.net = model::NetKind::kResNet18;
+    config.gpu = model::GpuKind::kV100;
+    const auto results = core::run_all_policies(catalog, pipe, cm, config);
+    const auto& no_off = results[0];
+    const auto& sophon = results[4];
+    std::string rationale = sophon.decision.rationale.substr(0, 60);
+    table.add_row({human_bandwidth(config.cluster.bandwidth),
+                   strf("%.1f s", no_off.stats.epoch_time.value()),
+                   strf("%.1f s", sophon.stats.epoch_time.value()),
+                   strf("%.2fx",
+                        no_off.stats.epoch_time.value() / sophon.stats.epoch_time.value()),
+                   strf("%zu", sophon.stats.offloaded_samples), rationale});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A7 — local raw-sample caching vs / with selective offloading.
+//
+// The paper's intro argues caching approaches (Quiver, SiloD, …) are bounded
+// by local capacity while datasets keep growing. This bench quantifies that:
+// steady-state traffic & epoch time for cache-only, SOPHON-only, and the
+// combination, across cache sizes (dataset is ~12.6 GB).
+#include "bench_common.h"
+#include "cache/cached_training.h"
+#include "core/profiler.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A7 — compute-node cache vs selective offloading (OpenImages)",
+                      "(paper intro: cache benefit is bounded by local capacity; SOPHON is "
+                      "capacity-independent)");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto config = bench::paper_config(48);
+  const auto gpu = model::GpuModel::lookup(config.net, config.gpu);
+  const Seconds batch_time = gpu.batch_time(config.cluster.batch_size);
+
+  const auto profiles = core::profile_stage2(catalog, pipe, cm);
+  const Seconds t_g = batch_time * static_cast<double>(
+                                       (catalog.size() + config.cluster.batch_size - 1) /
+                                       config.cluster.batch_size);
+  const auto decision = core::decide_offloading(profiles, config.cluster, t_g);
+
+  TextTable table({"cache size", "variant", "steady hit rate", "traffic/epoch", "epoch time"});
+  for (const double gib : {0.0, 2.0, 4.0, 8.0}) {
+    const auto capacity = Bytes(static_cast<std::int64_t>(gib * 1024 * 1024 * 1024));
+    struct Variant {
+      const char* name;
+      core::OffloadPlan plan;
+    };
+    const Variant variants[] = {
+        {"cache only", core::OffloadPlan(catalog.size())},
+        {"SOPHON + cache", decision.plan},
+    };
+    for (const auto& v : variants) {
+      cache::CachedTrainingSession session(catalog, pipe, cm, config.cluster, batch_time,
+                                           v.plan, capacity, 42);
+      cache::CachedEpochResult last;
+      for (int e = 0; e < 3; ++e) last = session.run_epoch();  // steady state
+      table.add_row({gib == 0.0 ? "none" : strf("%.0f GiB", gib), v.name,
+                     strf("%.1f%%", 100.0 * last.hit_rate()), bench::gb(last.stats.traffic),
+                     strf("%.1f s", last.stats.epoch_time.value())});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n(dataset at rest: %s; 'cache only' with no cache = No-Off)\n",
+              bench::gb(catalog.total_encoded()).c_str());
+  return 0;
+}

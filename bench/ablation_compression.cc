@@ -1,0 +1,53 @@
+// Ablation A3 — selective compression of offloaded payloads (paper §6
+// future work).
+//
+// On top of SOPHON's offload plan, the storage node may SJPG-re-encode
+// image payloads before shipping. How much extra traffic does that recover,
+// and at what storage-CPU price, across link speeds?
+#include "bench_common.h"
+#include "core/compression.h"
+#include "core/profiler.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A3 — selective payload compression (OpenImages, §6 extension)",
+                      "(future work in the paper: 'selectively compress preprocessed data')");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto profiles = core::profile_stage2(catalog, pipe, cm);
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+
+  TextTable table({"bandwidth", "variant", "epoch time", "traffic", "compressed", "storage CPU"});
+  for (const double mbps : {250.0, 500.0, 1000.0}) {
+    auto config = bench::paper_config(48);
+    config.cluster.bandwidth = Bandwidth::mbps(mbps);
+    const Seconds batch_time = gpu.batch_time(config.cluster.batch_size);
+    const Seconds t_g = batch_time * static_cast<double>(
+                                         (catalog.size() + config.cluster.batch_size - 1) /
+                                         config.cluster.batch_size);
+
+    const auto base = core::decide_offloading(profiles, config.cluster, t_g);
+    const auto plain =
+        sim::simulate_epoch(catalog, pipe, cm, config.cluster, batch_time,
+                            base.plan.assignment(), 42, 0);
+    table.add_row({human_bandwidth(config.cluster.bandwidth), "SOPHON",
+                   strf("%.1f s", plain.epoch_time.value()), bench::gb(plain.traffic), "0",
+                   strf("%.1f s", plain.storage_cpu_busy.value())});
+
+    const core::CompressionModel model;
+    const auto compressed_plan = core::decide_compression(profiles, catalog, pipe, base.plan,
+                                                          base.final_cost, config.cluster, model);
+    const auto flows = core::make_compressed_flows(compressed_plan, catalog, pipe, cm, model);
+    const auto stats = sim::simulate_epoch_flows(catalog.size(), flows, config.cluster,
+                                                 batch_time, 42, 0);
+    table.add_row({human_bandwidth(config.cluster.bandwidth), "SOPHON + compression",
+                   strf("%.1f s", stats.epoch_time.value()), bench::gb(stats.traffic),
+                   strf("%zu", compressed_plan.compressed_count),
+                   strf("%.1f s", stats.storage_cpu_busy.value())});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

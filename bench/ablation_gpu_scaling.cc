@@ -1,0 +1,43 @@
+// Ablation A10 — GPU scaling: the remote-I/O bottleneck worsens as
+// accelerators multiply.
+//
+// Paper intro: "as GPUs become faster, this data fetch bottleneck becomes
+// increasingly problematic" — a 400-GPU cluster needs 200 Gbps aggregate
+// I/O. We scale data-parallel GPU count at fixed link bandwidth and track
+// GPU utilisation and SOPHON's recovered time.
+#include "bench_common.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A10 — data-parallel GPU count at fixed 500 Mbps (OpenImages)",
+                      "paper intro: faster/more GPUs make the remote-I/O bottleneck worse, "
+                      "raising the value of traffic reduction");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+
+  TextTable table({"GPUs", "model", "No-Off epoch", "No-Off GPU util", "SOPHON epoch",
+                   "SOPHON GPU util", "speedup"});
+  for (const auto net : {model::NetKind::kResNet50, model::NetKind::kResNet18}) {
+    for (const int gpus : {1, 2, 4, 8}) {
+      auto config = bench::paper_config(48);
+      config.net = net;
+      config.gpu = model::GpuKind::kV100;
+      config.gpu_count = gpus;
+      const auto results = core::run_all_policies(catalog, pipe, cm, config);
+      const auto& no_off = results[0];
+      const auto& sophon = results[4];
+      table.add_row({strf("%d", gpus), std::string(model::net_kind_name(net)),
+                     strf("%.1f s", no_off.stats.epoch_time.value()),
+                     strf("%.1f%%", 100.0 * no_off.stats.gpu_utilization),
+                     strf("%.1f s", sophon.stats.epoch_time.value()),
+                     strf("%.1f%%", 100.0 * sophon.stats.gpu_utilization),
+                     strf("%.2fx", no_off.stats.epoch_time.value() /
+                                       sophon.stats.epoch_time.value())});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

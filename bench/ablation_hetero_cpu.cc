@@ -1,0 +1,32 @@
+// Ablation A4 — heterogeneous CPU speeds (paper §6 future work).
+//
+// The paper assumes identical CPU types on both nodes. We sweep the
+// storage-core speed factor: slower storage cores shrink the amount SOPHON
+// chooses to offload; faster ones extend it.
+#include "bench_common.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A4 — heterogeneous storage CPU speed (OpenImages, §6 extension)",
+                      "(future work in the paper: heterogeneous CPU types across nodes)");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+
+  TextTable table({"storage core speed", "policy", "epoch time", "traffic", "offloaded"});
+  for (const double speed : {0.25, 0.5, 1.0, 2.0}) {
+    auto config = bench::paper_config(4);
+    config.cluster.storage_core_speed = speed;
+    const auto results = core::run_all_policies(catalog, pipe, cm, config);
+    for (const auto& r : results) {
+      if (r.kind != core::PolicyKind::kSophon && r.kind != core::PolicyKind::kResizeOff) continue;
+      table.add_row({strf("%.2fx", speed), r.name, strf("%.1f s", r.stats.epoch_time.value()),
+                     bench::gb(r.stats.traffic), strf("%zu", r.stats.offloaded_samples)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n(4 storage cores; speed factor scales each core's throughput.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation A11 — robustness of the decision engine to profiling noise.
+//
+// Stage-2 measurements ride along with a real training epoch, so they carry
+// wall-clock noise. We perturb the per-op times (and sizes, which in a real
+// system are exact — perturbed here only as a worst case) by multiplicative
+// noise, plan on the noisy profiles, and evaluate the resulting plan under
+// the *true* profiles: how much epoch time does SOPHON lose to noise?
+#include "bench_common.h"
+#include "core/profiler.h"
+#include "util/rng.h"
+
+using namespace sophon;
+
+namespace {
+
+std::vector<core::SampleProfile> perturb_times(const std::vector<core::SampleProfile>& profiles,
+                                               double relative_noise, std::uint64_t seed) {
+  Rng rng(seed);
+  auto noisy = profiles;
+  for (auto& p : noisy) {
+    Seconds prefix;
+    for (std::size_t op = 0; op < p.op_costs.size(); ++op) {
+      const double factor = std::max(0.05, 1.0 + relative_noise * rng.normal());
+      p.op_costs[op] = p.op_costs[op] * factor;
+      if (op < p.min_stage) prefix += p.op_costs[op];
+    }
+    p.prefix_time = prefix;
+  }
+  return noisy;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation A11 — decision robustness to stage-2 timing noise (OpenImages)",
+                      "(not in paper; stage-2 rides along a real epoch and is inherently noisy)");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto truth = core::profile_stage2(catalog, pipe, cm);
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+
+  TextTable table({"cores", "timing noise", "offloaded", "epoch time (true costs)",
+                   "regret vs noise-free"});
+  for (const int cores : {1, 4, 48}) {
+    auto config = bench::paper_config(cores);
+    const Seconds batch_time = gpu.batch_time(config.cluster.batch_size);
+    const Seconds t_g = batch_time * static_cast<double>(
+                                         (catalog.size() + config.cluster.batch_size - 1) /
+                                         config.cluster.batch_size);
+    double noise_free_epoch = 0.0;
+    for (const double noise : {0.0, 0.1, 0.3, 0.5}) {
+      const auto profiles = noise == 0.0 ? truth : perturb_times(truth, noise, 7);
+      const auto decision = core::decide_offloading(profiles, config.cluster, t_g);
+      // Evaluate the noisy plan against reality.
+      const auto stats = sim::simulate_epoch(catalog, pipe, cm, config.cluster, batch_time,
+                                             decision.plan.assignment(), 42, 0);
+      if (noise == 0.0) noise_free_epoch = stats.epoch_time.value();
+      table.add_row({strf("%d", cores), strf("±%.0f%%", noise * 100.0),
+                     strf("%zu", decision.offloaded), strf("%.1f s", stats.epoch_time.value()),
+                     strf("+%.1f%%", 100.0 * (stats.epoch_time.value() - noise_free_epoch) /
+                                         noise_free_epoch)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A1 — candidate ordering in the decision engine.
+//
+// DESIGN.md question: does greedy-by-efficiency actually beat
+// greedy-by-absolute-reduction and random order? The difference should be
+// largest when storage CPU is scarce (the efficiency ratio is exactly
+// "traffic saved per unit of the scarce resource").
+#include "bench_common.h"
+#include "core/profiler.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A1 — decision-engine candidate ordering (OpenImages)",
+                      "(not in paper; supports §3.2's efficiency-ordered greedy)");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto profiles = core::profile_stage2(catalog, pipe, cm);
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+
+  TextTable table({"cores", "ordering", "offloaded", "predicted epoch", "simulated epoch",
+                   "traffic"});
+  for (const int cores : {1, 2, 4, 8}) {
+    auto config = bench::paper_config(cores);
+    const Seconds t_g =
+        gpu.batch_time(config.cluster.batch_size) *
+        static_cast<double>((catalog.size() + config.cluster.batch_size - 1) /
+                            config.cluster.batch_size);
+    for (const auto& [order, name] :
+         {std::pair{core::CandidateOrder::kByEfficiency, "by efficiency (paper)"},
+          {core::CandidateOrder::kByReduction, "by reduction"},
+          {core::CandidateOrder::kRandom, "random"}}) {
+      core::DecisionOptions opts;
+      opts.order = order;
+      opts.random_seed = 7;
+      const auto decision = core::decide_offloading(profiles, config.cluster, t_g, opts);
+      const auto stats = sim::simulate_epoch(
+          catalog, pipe, cm, config.cluster,
+          gpu.batch_time(config.cluster.batch_size), decision.plan.assignment(), 42, 0);
+      table.add_row({strf("%d", cores), name, strf("%zu", decision.offloaded),
+                     strf("%.1f s", decision.final_cost.predicted_epoch_time().value()),
+                     strf("%.1f s", stats.epoch_time.value()), bench::gb(stats.traffic)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

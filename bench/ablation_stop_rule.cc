@@ -1,0 +1,47 @@
+// Ablation A2 — the greedy loop's stop condition.
+//
+// The paper stops when T_Net ceases to be the predominant metric. How close
+// is that to an exact predicted-epoch-time minimiser, and what does
+// "offload every beneficial sample" cost?
+#include "bench_common.h"
+#include "core/profiler.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header("Ablation A2 — decision-engine stop rule (OpenImages)",
+                      "(not in paper; quantifies §3.2's 'until T_Net ceases to be "
+                      "predominant' rule)");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto profiles = core::profile_stage2(catalog, pipe, cm);
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+
+  TextTable table({"cores", "stop rule", "offloaded", "simulated epoch", "traffic",
+                   "storage CPU busy"});
+  for (const int cores : {1, 2, 4, 8, 48}) {
+    auto config = bench::paper_config(cores);
+    const Seconds batch_time = gpu.batch_time(config.cluster.batch_size);
+    const Seconds t_g = batch_time * static_cast<double>(
+                                         (catalog.size() + config.cluster.batch_size - 1) /
+                                         config.cluster.batch_size);
+    for (const auto& [rule, name] :
+         {std::pair{core::StopRule::kNetPredominant, "net-predominant (paper)"},
+          {core::StopRule::kExactMinimize, "exact minimiser"},
+          {core::StopRule::kExhaustBenefits, "exhaust benefits"}}) {
+      core::DecisionOptions opts;
+      opts.stop_rule = rule;
+      const auto decision = core::decide_offloading(profiles, config.cluster, t_g, opts);
+      const auto stats =
+          sim::simulate_epoch(catalog, pipe, cm, config.cluster, batch_time,
+                              decision.plan.assignment(), 42, 0);
+      table.add_row({strf("%d", cores), name, strf("%zu", decision.offloaded),
+                     strf("%.1f s", stats.epoch_time.value()), bench::gb(stats.traffic),
+                     strf("%.1f s", stats.storage_cpu_busy.value())});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

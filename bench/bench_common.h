@@ -1,0 +1,51 @@
+// Shared setup for the figure/table reproduction benches: the paper's
+// evaluation configuration (§4) and formatting helpers so every bench prints
+// uniform, diffable tables for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/runner.h"
+#include "dataset/catalog.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace sophon::bench {
+
+/// The paper's experiment setup: RTX-6000 compute node with 48 preprocessing
+/// cores, storage node with a variable core budget, 500 Mbps link, AlexNet.
+inline core::RunConfig paper_config(int storage_cores = 48) {
+  core::RunConfig c;
+  c.cluster.compute_cores = 48;
+  c.cluster.storage_cores = storage_cores;
+  c.cluster.bandwidth = Bandwidth::mbps(500.0);
+  c.net = model::NetKind::kAlexNet;
+  c.gpu = model::GpuKind::kRtx6000;
+  c.seed = 42;
+  return c;
+}
+
+/// The paper's two datasets at evaluation scale: a ~12 GB OpenImages-like
+/// subset (40 k large images) and a ~11 GB ImageNet-like subset (90 k
+/// mostly-small images).
+inline dataset::Catalog openimages_catalog() {
+  return dataset::Catalog::generate(dataset::openimages_profile(40000), 42);
+}
+
+inline dataset::Catalog imagenet_catalog() {
+  return dataset::Catalog::generate(dataset::imagenet_profile(90000), 42);
+}
+
+inline std::string gb(Bytes b) {
+  return strf("%.2f GB", b.as_double() / 1e9);
+}
+
+inline void print_header(const char* experiment, const char* paper_summary) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper reports: %s\n", paper_summary);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace sophon::bench

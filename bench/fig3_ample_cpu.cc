@@ -1,0 +1,54 @@
+// Figure 3 — training time and data traffic per epoch, ample (48) storage
+// CPU cores, all five policies on both datasets.
+//
+// Paper: All-Off inflates traffic 1.9x (OpenImages) / 5.1x (ImageNet) and
+// has the longest training time; FastFlow declines offloading; Resize-Off
+// halves OpenImages traffic but *increases* ImageNet traffic 1.3x; SOPHON
+// reduces traffic 2.2x / 1.2x and achieves the shortest training time.
+#include "bench_common.h"
+
+using namespace sophon;
+
+namespace {
+
+void evaluate(const char* name, const dataset::Catalog& catalog) {
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto config = bench::paper_config(48);
+  const auto results = core::run_all_policies(catalog, pipe, cm, config);
+  const double base_time = results[0].stats.epoch_time.value();
+  const auto base_traffic = results[0].stats.traffic;
+
+  std::printf("%s: %zu samples, %s total, link %s\n", name, catalog.size(),
+              bench::gb(catalog.total_encoded()).c_str(),
+              human_bandwidth(config.cluster.bandwidth).c_str());
+  TextTable table({"policy", "epoch time", "vs No-Off", "traffic", "traffic vs No-Off",
+                   "offloaded", "GPU util"});
+  for (const auto& r : results) {
+    const double traffic_ratio = r.stats.traffic.as_double() / base_traffic.as_double();
+    table.add_row({r.name, strf("%.1f s", r.stats.epoch_time.value()),
+                   strf("%.2fx", base_time / r.stats.epoch_time.value()),
+                   bench::gb(r.stats.traffic),
+                   traffic_ratio >= 1.0 ? strf("%.2fx more", traffic_ratio)
+                                        : strf("%.2fx less", 1.0 / traffic_ratio),
+                   strf("%zu", r.stats.offloaded_samples),
+                   strf("%.1f%%", 100.0 * r.stats.gpu_utilization)});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const auto& r : results) {
+    std::printf("  %-10s %s\n", r.name.c_str(), r.decision.rationale.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 3 — epoch time & traffic, ample storage CPU (48 cores)",
+      "All-Off traffic x1.9 (OI) / x5.1 (IN), longest time; FastFlow = No-Off; "
+      "Resize-Off: OI traffic /2 but IN traffic x1.3; SOPHON: /2.2 and /1.2, fastest");
+  evaluate("OpenImages-like", bench::openimages_catalog());
+  evaluate("ImageNet-like", bench::imagenet_catalog());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 4 — training time and traffic vs storage-node CPU cores
+// (OpenImages).
+//
+// Paper: All-Off worst everywhere, much worse at 1 core; FastFlow always
+// declines; Resize-Off has the lowest traffic but is slower than No-Off at
+// <=2 cores; SOPHON is fastest at every budget with diminishing returns
+// (0->1 core saves ~22 s, 4->5 only ~9 s).
+#include "bench_common.h"
+
+using namespace sophon;
+
+int main() {
+  bench::print_header(
+      "Figure 4 — epoch time & traffic vs storage CPU cores (OpenImages)",
+      "All-Off worst (spikes at 1 core); Resize-Off lowest traffic but slower than "
+      "No-Off at small core counts; SOPHON fastest everywhere, diminishing returns");
+
+  const auto catalog = bench::openimages_catalog();
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+
+  TextTable time_table({"cores", "No-Off", "All-Off", "FastFlow", "Resize-Off", "SOPHON",
+                        "SOPHON offloaded"});
+  TextTable traffic_table({"cores", "No-Off", "All-Off", "FastFlow", "Resize-Off", "SOPHON"});
+
+  double prev_sophon = 0.0;
+  std::vector<std::pair<int, double>> sophon_times;
+  for (const int cores : {0, 1, 2, 3, 4, 5, 6, 8, 48}) {
+    const auto results = core::run_all_policies(catalog, pipe, cm, bench::paper_config(cores));
+    std::vector<std::string> times{strf("%d", cores)};
+    std::vector<std::string> traffics{strf("%d", cores)};
+    for (const auto& r : results) {
+      times.push_back(strf("%.1f s", r.stats.epoch_time.value()));
+      traffics.push_back(bench::gb(r.stats.traffic));
+    }
+    times.push_back(strf("%zu", results[4].stats.offloaded_samples));
+    time_table.add_row(std::move(times));
+    traffic_table.add_row(std::move(traffics));
+    sophon_times.emplace_back(cores, results[4].stats.epoch_time.value());
+    prev_sophon = results[4].stats.epoch_time.value();
+  }
+  (void)prev_sophon;
+
+  std::printf("Epoch time:\n%s\n", time_table.render().c_str());
+  std::printf("Traffic per epoch:\n%s\n", traffic_table.render().c_str());
+
+  std::printf("SOPHON marginal gain per added core (paper: 22 s for 0->1, 9 s for 4->5):\n");
+  TextTable gains({"transition", "epoch time saved"});
+  for (std::size_t i = 1; i < sophon_times.size(); ++i) {
+    gains.add_row({strf("%d -> %d cores", sophon_times[i - 1].first, sophon_times[i].first),
+                   strf("%.1f s", sophon_times[i - 1].second - sophon_times[i].second)});
+  }
+  std::printf("%s", gains.render().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// M2 — simulator & planner micro-benchmarks: how fast the discrete-event
+// trainer, the stage-2 profiler and the decision engine run at evaluation
+// scale (they must stay cheap enough to iterate on).
+#include <benchmark/benchmark.h>
+
+#include "core/decision.h"
+#include "core/profiler.h"
+#include "sim/trainer.h"
+
+namespace sophon {
+namespace {
+
+const dataset::Catalog& catalog() {
+  static const auto c = dataset::Catalog::generate(dataset::openimages_profile(40000), 42);
+  return c;
+}
+
+const pipeline::Pipeline& pipe() {
+  static const auto p = pipeline::Pipeline::standard();
+  return p;
+}
+
+void BM_SimulateEpochNoOff(benchmark::State& state) {
+  const pipeline::CostModel cm;
+  sim::ClusterConfig cluster;
+  for (auto _ : state) {
+    auto stats = sim::simulate_epoch(catalog(), pipe(), cm, cluster, Seconds::millis(85.0), {},
+                                     42, 0);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(catalog().size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateEpochNoOff);
+
+void BM_SimulateEpochFullOffload(benchmark::State& state) {
+  const pipeline::CostModel cm;
+  sim::ClusterConfig cluster;
+  const std::vector<std::uint8_t> assignment(catalog().size(), 2);
+  for (auto _ : state) {
+    auto stats = sim::simulate_epoch(catalog(), pipe(), cm, cluster, Seconds::millis(85.0),
+                                     assignment, 42, 0);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_SimulateEpochFullOffload);
+
+void BM_Stage2Profiler(benchmark::State& state) {
+  const pipeline::CostModel cm;
+  for (auto _ : state) {
+    auto profiles = core::profile_stage2(catalog(), pipe(), cm);
+    benchmark::DoNotOptimize(profiles);
+  }
+}
+BENCHMARK(BM_Stage2Profiler);
+
+void BM_DecisionEngine(benchmark::State& state) {
+  const pipeline::CostModel cm;
+  const auto profiles = core::profile_stage2(catalog(), pipe(), cm);
+  sim::ClusterConfig cluster;
+  cluster.storage_cores = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::decide_offloading(profiles, cluster, Seconds(14.0));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DecisionEngine)->Arg(1)->Arg(48);
+
+void BM_EpochShuffle(benchmark::State& state) {
+  for (auto _ : state) {
+    dataset::EpochOrder order(catalog().size(), 42, 0);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_EpochShuffle);
+
+}  // namespace
+}  // namespace sophon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Multi-epoch training with a compute-node raw-sample cache.
+//
+// A cached sample skips the link entirely and preprocesses locally from the
+// resident raw blob. Only *raw* samples are cached: caching partially
+// preprocessed payloads would freeze the random augmentations (the paper's
+// §3.3 objection to preprocess-once reuse), while raw blobs preserve them.
+// Samples the offload plan sends through the storage node are therefore
+// never inserted — offloading and caching partition the dataset.
+//
+// The cache evolves across epochs (the session owns it), so epoch 0 is the
+// cold pass and later epochs show the steady-state hit rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lru.h"
+#include "core/plan.h"
+#include "dataset/catalog.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "sim/trainer.h"
+
+namespace sophon::cache {
+
+struct CachedEpochResult {
+  sim::EpochStats stats;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Drives consecutive simulated epochs over one catalog with a persistent
+/// raw-blob LRU on the compute node, combined with an (optional) offload
+/// plan. Borrows catalog/pipeline/cost model; keep them alive.
+class CachedTrainingSession {
+ public:
+  CachedTrainingSession(const dataset::Catalog& catalog, const pipeline::Pipeline& pipeline,
+                        const pipeline::CostModel& cost_model, sim::ClusterConfig cluster,
+                        Seconds gpu_batch_time, core::OffloadPlan plan, Bytes cache_capacity,
+                        std::uint64_t seed);
+
+  /// Simulate the next epoch; cache state carries over.
+  CachedEpochResult run_epoch();
+
+  [[nodiscard]] const LruCache& cache() const { return cache_; }
+  [[nodiscard]] std::size_t epochs_run() const { return epoch_; }
+
+ private:
+  const dataset::Catalog& catalog_;
+  const pipeline::Pipeline& pipeline_;
+  const pipeline::CostModel& cost_model_;
+  sim::ClusterConfig cluster_;
+  Seconds gpu_batch_time_;
+  core::OffloadPlan plan_;
+  LruCache cache_;
+  std::uint64_t seed_;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace sophon::cache

@@ -1,0 +1,52 @@
+#include "codec/bitio.h"
+
+#include "util/check.h"
+
+namespace sophon::codec {
+
+void BitWriter::put(std::uint64_t bits, int count) {
+  SOPHON_CHECK(count >= 0 && count <= 57);
+  if (count == 0) return;
+  if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
+  acc_ = (acc_ << count) | bits;
+  acc_bits_ += count;
+  bit_count_ += static_cast<std::uint64_t>(count);
+  while (acc_bits_ >= 8) {
+    acc_bits_ -= 8;
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ >> acc_bits_));
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc_ << (8 - acc_bits_)));
+    acc_bits_ = 0;
+  }
+  acc_ = 0;
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::get(int count) {
+  SOPHON_CHECK(count >= 0 && count <= 57);
+  if (count == 0) return 0;
+  while (acc_bits_ < count) {
+    std::uint8_t byte = 0;
+    if (byte_pos_ < data_.size()) {
+      byte = data_[byte_pos_++];
+    } else {
+      overrun_ = true;
+    }
+    acc_ = (acc_ << 8) | byte;
+    acc_bits_ += 8;
+  }
+  acc_bits_ -= count;
+  bits_consumed_ += static_cast<std::uint64_t>(count);
+  const std::uint64_t mask = (count < 64) ? ((std::uint64_t{1} << count) - 1) : ~std::uint64_t{0};
+  return (acc_ >> acc_bits_) & mask;
+}
+
+int BitReader::get_bit() {
+  return static_cast<int>(get(1));
+}
+
+}  // namespace sophon::codec

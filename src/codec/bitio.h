@@ -1,0 +1,55 @@
+// MSB-first bit-level I/O over byte buffers — the substrate for the Huffman
+// coder. Writer owns its buffer; reader borrows one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sophon::codec {
+
+/// Accumulates bits most-significant-first into a growing byte vector.
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `bits` (MSB of that group first).
+  /// `count` must be in [0, 57] so the accumulator never overflows.
+  void put(std::uint64_t bits, int count);
+
+  /// Flush any partial byte (zero-padded) and return the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// Bits written so far (excluding padding).
+  [[nodiscard]] std::uint64_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Reads bits most-significant-first from a borrowed byte span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `count` bits (0..57). Reads past the end are zero-filled and set
+  /// the overrun flag — callers check `overrun()` after decoding.
+  std::uint64_t get(int count);
+
+  /// Read a single bit (0 or 1).
+  int get_bit();
+
+  [[nodiscard]] bool overrun() const { return overrun_; }
+  [[nodiscard]] std::uint64_t bits_consumed() const { return bits_consumed_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t byte_pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+  bool overrun_ = false;
+  std::uint64_t bits_consumed_ = 0;
+};
+
+}  // namespace sophon::codec

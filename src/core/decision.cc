@@ -1,0 +1,282 @@
+#include "core/decision.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::core {
+
+namespace {
+
+/// The baseline (no offloading) cost vector.
+EpochCostVector baseline_cost(const std::vector<SampleProfile>& profiles,
+                              const sim::ClusterConfig& cluster, Seconds gpu_epoch_time) {
+  EpochCostVector cost;
+  cost.t_g = gpu_epoch_time;
+  Seconds local_cpu;
+  double traffic = 0.0;
+  for (const auto& p : profiles) {
+    local_cpu += std::accumulate(p.op_costs.begin(), p.op_costs.end(), Seconds(0.0));
+    traffic += p.stage_sizes.front().as_double();
+  }
+  cost.t_cc = local_cpu / static_cast<double>(cluster.compute_cores);
+  cost.t_cs = Seconds(0.0);
+  cost.t_net = Seconds(traffic / cluster.bandwidth.bytes_per_sec());
+  return cost;
+}
+
+/// Effective storage-core capacity (cores x speed factor).
+double storage_capacity(const sim::ClusterConfig& cluster) {
+  return static_cast<double>(cluster.storage_cores) * cluster.storage_core_speed;
+}
+
+}  // namespace
+
+EpochCostVector evaluate_plan(const std::vector<SampleProfile>& profiles, const OffloadPlan& plan,
+                              const sim::ClusterConfig& cluster, Seconds gpu_epoch_time) {
+  SOPHON_CHECK(plan.size() == profiles.size());
+  EpochCostVector cost;
+  cost.t_g = gpu_epoch_time;
+  Seconds local_cpu;
+  Seconds storage_cpu;
+  double traffic = 0.0;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& p = profiles[i];
+    const std::size_t prefix = plan.prefix(i);
+    SOPHON_CHECK(prefix < p.stage_sizes.size());
+    traffic += p.stage_sizes[prefix].as_double();
+    for (std::size_t op = 0; op < p.op_costs.size(); ++op) {
+      if (op < prefix) {
+        storage_cpu += p.op_costs[op];
+      } else {
+        local_cpu += p.op_costs[op];
+      }
+    }
+  }
+  cost.t_cc = local_cpu / static_cast<double>(cluster.compute_cores);
+  const double capacity = storage_capacity(cluster);
+  if (storage_cpu.value() > 0.0) {
+    SOPHON_CHECK_MSG(capacity > 0.0, "plan offloads but cluster has no storage cores");
+    cost.t_cs = storage_cpu / capacity;
+  }
+  cost.t_net = Seconds(traffic / cluster.bandwidth.bytes_per_sec());
+  return cost;
+}
+
+DecisionResult decide_offloading(const std::vector<SampleProfile>& profiles,
+                                 const sim::ClusterConfig& cluster, Seconds gpu_epoch_time,
+                                 const DecisionOptions& options) {
+  SOPHON_CHECK(!profiles.empty());
+  DecisionResult result;
+  result.plan = OffloadPlan(profiles.size());
+  result.baseline = baseline_cost(profiles, cluster, gpu_epoch_time);
+  result.final_cost = result.baseline;
+
+  // Candidates: samples whose size shrinks at some intermediate stage.
+  std::vector<std::uint32_t> candidates;
+  for (const auto& p : profiles) {
+    if (p.benefits() && p.efficiency() > 0.0) candidates.push_back(p.sample_index);
+  }
+  result.beneficial_candidates = candidates.size();
+
+  const double capacity = storage_capacity(cluster);
+  if (capacity <= 0.0 || candidates.empty()) return result;
+
+  switch (options.order) {
+    case CandidateOrder::kByEfficiency:
+      std::sort(candidates.begin(), candidates.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const double ea = profiles[a].efficiency();
+        const double eb = profiles[b].efficiency();
+        if (ea != eb) return ea > eb;
+        return a < b;
+      });
+      break;
+    case CandidateOrder::kByReduction:
+      std::sort(candidates.begin(), candidates.end(), [&](std::uint32_t a, std::uint32_t b) {
+        if (profiles[a].reduction != profiles[b].reduction)
+          return profiles[a].reduction > profiles[b].reduction;
+        return a < b;
+      });
+      break;
+    case CandidateOrder::kRandom: {
+      Rng rng(derive_seed(options.random_seed, "decision-shuffle"));
+      for (std::size_t i = candidates.size(); i > 1; --i) {
+        const auto j =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(candidates[i - 1], candidates[j]);
+      }
+      break;
+    }
+  }
+
+  EpochCostVector cost = result.baseline;
+  const double bytes_per_sec = cluster.bandwidth.bytes_per_sec();
+  for (const auto idx : candidates) {
+    const auto& p = profiles[idx];
+
+    // Stop condition (1): T_Net is no longer the predominant metric.
+    if (options.stop_rule != StopRule::kExhaustBenefits && !cost.net_predominant()) break;
+
+    EpochCostVector next = cost;
+    next.t_net -= Seconds(p.reduction.as_double() / bytes_per_sec);
+    next.t_cc -= p.prefix_time / static_cast<double>(cluster.compute_cores);
+    next.t_cs += p.prefix_time / capacity;
+
+    if (options.stop_rule == StopRule::kExactMinimize &&
+        next.predicted_epoch_time() >= cost.predicted_epoch_time()) {
+      break;
+    }
+
+    cost = next;
+    result.plan.set(idx, static_cast<std::uint8_t>(p.min_stage));
+    ++result.offloaded;
+  }
+  result.final_cost = cost;
+  return result;
+}
+
+ShardedDecisionResult decide_offloading_sharded(const std::vector<SampleProfile>& profiles,
+                                                const storage::ShardMap& shards,
+                                                const sim::ClusterConfig& cluster,
+                                                Seconds gpu_epoch_time) {
+  SOPHON_CHECK(!profiles.empty());
+  SOPHON_CHECK(shards.size() == profiles.size());
+
+  ShardedDecisionResult result;
+  result.plan = OffloadPlan(profiles.size());
+  result.baseline = baseline_cost(profiles, cluster, gpu_epoch_time);
+  result.final_cost = result.baseline;
+  result.node_cpu.assign(static_cast<std::size_t>(shards.num_nodes()), Seconds(0.0));
+
+  std::vector<std::uint32_t> candidates;
+  for (const auto& p : profiles) {
+    if (p.benefits() && p.efficiency() > 0.0) candidates.push_back(p.sample_index);
+  }
+  result.beneficial_candidates = candidates.size();
+
+  // Per-node capacity (cores x speed); zero per-node capacity → no offload.
+  const double node_capacity =
+      static_cast<double>(cluster.storage_cores) * cluster.storage_core_speed;
+  if (node_capacity <= 0.0 || candidates.empty()) return result;
+
+  std::sort(candidates.begin(), candidates.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ea = profiles[a].efficiency();
+    const double eb = profiles[b].efficiency();
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+
+  EpochCostVector cost = result.baseline;
+  const double bytes_per_sec = cluster.bandwidth.bytes_per_sec();
+  auto max_node_tcs = [&]() {
+    Seconds worst(0.0);
+    for (const auto busy : result.node_cpu) {
+      worst = std::max(worst, busy / node_capacity);
+    }
+    return worst;
+  };
+
+  for (const auto idx : candidates) {
+    if (!cost.net_predominant()) break;
+    const auto& p = profiles[idx];
+    const auto node = static_cast<std::size_t>(shards.node_of(idx));
+
+    EpochCostVector next = cost;
+    next.t_net -= Seconds(p.reduction.as_double() / bytes_per_sec);
+    next.t_cc -= p.prefix_time / static_cast<double>(cluster.compute_cores);
+    const Seconds node_after = (result.node_cpu[node] + p.prefix_time) / node_capacity;
+    next.t_cs = std::max(max_node_tcs(), node_after);
+
+    // Node-saturation skip: if routing this sample through its (hot) node
+    // would not improve the predicted epoch time, leave it local and keep
+    // scanning — samples on colder nodes may still help.
+    if (next.predicted_epoch_time() >= cost.predicted_epoch_time()) continue;
+
+    cost = next;
+    result.node_cpu[node] += p.prefix_time;
+    result.plan.set(idx, static_cast<std::uint8_t>(p.min_stage));
+    ++result.offloaded;
+  }
+  result.final_cost = cost;
+  return result;
+}
+
+ReplicatedDecisionResult decide_offloading_replicated(const std::vector<SampleProfile>& profiles,
+                                                      const storage::ReplicaMap& replicas,
+                                                      const sim::ClusterConfig& cluster,
+                                                      Seconds gpu_epoch_time) {
+  SOPHON_CHECK(!profiles.empty());
+  SOPHON_CHECK(replicas.size() == profiles.size());
+
+  ReplicatedDecisionResult result;
+  result.plan = OffloadPlan(profiles.size());
+  result.baseline = baseline_cost(profiles, cluster, gpu_epoch_time);
+  result.final_cost = result.baseline;
+  result.node_cpu.assign(static_cast<std::size_t>(replicas.num_nodes()), Seconds(0.0));
+
+  // Default execution node: the primary replica (only meaningful for
+  // offloaded samples, but the map must be total).
+  std::vector<std::uint16_t> execution(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) execution[i] = replicas.replicas_of(i)[0];
+
+  std::vector<std::uint32_t> candidates;
+  for (const auto& p : profiles) {
+    if (p.benefits() && p.efficiency() > 0.0) candidates.push_back(p.sample_index);
+  }
+  result.beneficial_candidates = candidates.size();
+
+  const double node_capacity =
+      static_cast<double>(cluster.storage_cores) * cluster.storage_core_speed;
+  if (node_capacity <= 0.0 || candidates.empty()) {
+    result.execution_nodes =
+        storage::ShardMap::explicit_map(std::move(execution), replicas.num_nodes());
+    return result;
+  }
+
+  std::sort(candidates.begin(), candidates.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ea = profiles[a].efficiency();
+    const double eb = profiles[b].efficiency();
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+
+  EpochCostVector cost = result.baseline;
+  const double bytes_per_sec = cluster.bandwidth.bytes_per_sec();
+  auto max_node_tcs = [&]() {
+    Seconds worst(0.0);
+    for (const auto busy : result.node_cpu) worst = std::max(worst, busy / node_capacity);
+    return worst;
+  };
+
+  for (const auto idx : candidates) {
+    if (!cost.net_predominant()) break;
+    const auto& p = profiles[idx];
+
+    // Route to the least-loaded replica holder.
+    std::uint16_t best_node = replicas.replicas_of(idx)[0];
+    for (const auto node : replicas.replicas_of(idx)) {
+      if (result.node_cpu[node] < result.node_cpu[best_node]) best_node = node;
+    }
+
+    EpochCostVector next = cost;
+    next.t_net -= Seconds(p.reduction.as_double() / bytes_per_sec);
+    next.t_cc -= p.prefix_time / static_cast<double>(cluster.compute_cores);
+    const Seconds node_after = (result.node_cpu[best_node] + p.prefix_time) / node_capacity;
+    next.t_cs = std::max(max_node_tcs(), node_after);
+    if (next.predicted_epoch_time() >= cost.predicted_epoch_time()) continue;
+
+    cost = next;
+    result.node_cpu[best_node] += p.prefix_time;
+    execution[idx] = best_node;
+    result.plan.set(idx, static_cast<std::uint8_t>(p.min_stage));
+    ++result.offloaded;
+  }
+  result.final_cost = cost;
+  result.execution_nodes =
+      storage::ShardMap::explicit_map(std::move(execution), replicas.num_nodes());
+  return result;
+}
+
+}  // namespace sophon::core

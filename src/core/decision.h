@@ -1,0 +1,110 @@
+// SOPHON's decision engine (§3.2).
+//
+// Starting from the no-offloading baseline — where T_Net dominates because
+// stage 1 established the workload is I/O-bound — greedily offload the
+// highest-efficiency samples, trading network time for storage CPU time,
+// until the network stops being the predominant cost or no beneficial
+// samples remain.
+//
+// The ordering and stop-rule knobs exist for the ablation benches; the
+// defaults are exactly the paper's algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/plan.h"
+#include "sim/cluster.h"
+#include "storage/sharding.h"
+
+namespace sophon::core {
+
+/// In which order candidate samples are considered.
+enum class CandidateOrder {
+  kByEfficiency,  // paper: descending size-reduction per CPU-second
+  kByReduction,   // ablation: descending absolute size reduction
+  kRandom,        // ablation: random order
+};
+
+/// When the greedy loop stops.
+enum class StopRule {
+  kNetPredominant,   // paper: stop once T_Net is no longer the largest term
+  kExactMinimize,    // ablation: stop when the next offload would not lower
+                     // the predicted epoch time
+  kExhaustBenefits,  // ablation: offload every beneficial sample
+};
+
+struct DecisionOptions {
+  CandidateOrder order = CandidateOrder::kByEfficiency;
+  StopRule stop_rule = StopRule::kNetPredominant;
+  std::uint64_t random_seed = 0;  // used by CandidateOrder::kRandom
+};
+
+struct DecisionResult {
+  OffloadPlan plan;
+  EpochCostVector baseline;  // cost vector before any offloading
+  EpochCostVector final_cost;
+  std::size_t beneficial_candidates = 0;  // samples with positive efficiency
+  std::size_t offloaded = 0;
+};
+
+/// Run the decision engine over stage-2 profiles. `gpu_epoch_time` is T_G
+/// for one epoch (from the stage-1 GPU throughput). If the cluster has no
+/// storage cores, the result is the no-offload plan.
+[[nodiscard]] DecisionResult decide_offloading(const std::vector<SampleProfile>& profiles,
+                                               const sim::ClusterConfig& cluster,
+                                               Seconds gpu_epoch_time,
+                                               const DecisionOptions& options = {});
+
+/// The cost vector of an arbitrary plan over the same profiles — used by
+/// coarse planners (FastFlow) and the ablations to evaluate candidate plans
+/// without running the simulator.
+[[nodiscard]] EpochCostVector evaluate_plan(const std::vector<SampleProfile>& profiles,
+                                            const OffloadPlan& plan,
+                                            const sim::ClusterConfig& cluster,
+                                            Seconds gpu_epoch_time);
+
+/// Decision result against a sharded storage cluster: T_CS is governed by
+/// the *slowest node* (each node only preprocesses the samples it owns), so
+/// the per-node budget vector matters, not just the cluster total.
+struct ShardedDecisionResult {
+  OffloadPlan plan;
+  EpochCostVector baseline;
+  EpochCostVector final_cost;  // t_cs = busiest node's CPU time
+  std::vector<Seconds> node_cpu;  // offloaded single-core seconds per node
+  std::size_t beneficial_candidates = 0;
+  std::size_t offloaded = 0;
+};
+
+/// Sharded variant of the greedy: candidates are still taken in efficiency
+/// order, but a candidate whose owning node is already saturated (adding it
+/// would raise the predicted epoch time) is skipped rather than ending the
+/// loop, so spare capacity on cold nodes keeps being used.
+/// `cluster.storage_cores` is the per-node core budget.
+[[nodiscard]] ShardedDecisionResult decide_offloading_sharded(
+    const std::vector<SampleProfile>& profiles, const storage::ShardMap& shards,
+    const sim::ClusterConfig& cluster, Seconds gpu_epoch_time);
+
+/// Result of replica-aware planning: in addition to the plan, the node each
+/// offloaded sample's prefix was routed to (its least-loaded replica at
+/// selection time), expressed as a ShardMap so the sharded simulator can
+/// consume it directly.
+struct ReplicatedDecisionResult {
+  OffloadPlan plan;
+  storage::ShardMap execution_nodes;  // where each sample's prefix runs
+  EpochCostVector baseline;
+  EpochCostVector final_cost;
+  std::vector<Seconds> node_cpu;
+  std::size_t beneficial_candidates = 0;
+  std::size_t offloaded = 0;
+};
+
+/// Replica-aware greedy: each candidate may run its prefix on any of its
+/// replica holders; the engine routes it to the least-loaded one, which
+/// largely neutralises placement skew as replication grows.
+[[nodiscard]] ReplicatedDecisionResult decide_offloading_replicated(
+    const std::vector<SampleProfile>& profiles, const storage::ReplicaMap& replicas,
+    const sim::ClusterConfig& cluster, Seconds gpu_epoch_time);
+
+}  // namespace sophon::core

@@ -1,0 +1,87 @@
+#include "core/multitenant.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sophon::core {
+
+Seconds predict_job_epoch(const TenantJob& job, int storage_cores,
+                          const DecisionOptions& options) {
+  SOPHON_CHECK(storage_cores >= 0);
+  auto cluster = job.cluster;
+  cluster.storage_cores = storage_cores;
+  const auto result = decide_offloading(job.profiles, cluster, job.gpu_epoch_time, options);
+  return result.final_cost.predicted_epoch_time();
+}
+
+namespace {
+
+CoreAllocation finish_allocation(const std::vector<TenantJob>& jobs, std::vector<int> cores,
+                                 const DecisionOptions& options) {
+  CoreAllocation alloc;
+  alloc.cores = std::move(cores);
+  alloc.predicted_epoch.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Seconds t = predict_job_epoch(jobs[j], alloc.cores[j], options);
+    alloc.predicted_epoch.push_back(t);
+    alloc.max_epoch = std::max(alloc.max_epoch, t);
+    alloc.total_epoch += t;
+  }
+  return alloc;
+}
+
+}  // namespace
+
+CoreAllocation allocate_storage_cores(const std::vector<TenantJob>& jobs, int total_cores,
+                                      SchedulerObjective objective,
+                                      const DecisionOptions& options) {
+  SOPHON_CHECK(!jobs.empty());
+  SOPHON_CHECK(total_cores >= 0);
+
+  std::vector<int> cores(jobs.size(), 0);
+  std::vector<Seconds> current(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    current[j] = predict_job_epoch(jobs[j], 0, options);
+  }
+
+  for (int budget = 0; budget < total_cores; ++budget) {
+    // Give the next core to the job where it helps the objective most.
+    std::size_t best_job = jobs.size();
+    double best_gain = 0.0;
+    Seconds best_new_time;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const Seconds with_one_more = predict_job_epoch(jobs[j], cores[j] + 1, options);
+      const double delta = current[j].value() - with_one_more.value();
+      if (delta <= 0.0) continue;
+      double gain = delta;
+      if (objective == SchedulerObjective::kMinimizeMakespan) {
+        // Only the slowest job's improvement moves the makespan; weight the
+        // gain by how close this job is to being the slowest.
+        const Seconds makespan = *std::max_element(current.begin(), current.end());
+        gain = current[j] == makespan ? delta : delta * 1e-6;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_job = j;
+        best_new_time = with_one_more;
+      }
+    }
+    if (best_job == jobs.size()) break;  // no job benefits from more cores
+    ++cores[best_job];
+    current[best_job] = best_new_time;
+  }
+  return finish_allocation(jobs, std::move(cores), options);
+}
+
+CoreAllocation equal_split(const std::vector<TenantJob>& jobs, int total_cores,
+                           const DecisionOptions& options) {
+  SOPHON_CHECK(!jobs.empty());
+  std::vector<int> cores(jobs.size(), total_cores / static_cast<int>(jobs.size()));
+  for (std::size_t j = 0; j < static_cast<std::size_t>(total_cores) % jobs.size(); ++j) {
+    ++cores[j];
+  }
+  return finish_allocation(jobs, std::move(cores), options);
+}
+
+}  // namespace sophon::core

@@ -1,0 +1,56 @@
+// Extension (paper §6 future work): multi-tenant storage-CPU scheduling.
+//
+// GPU clusters run many training jobs against one storage cluster; the
+// storage node's preprocessing cores are a shared resource. The scheduler
+// splits an integer core budget across jobs, using each job's own decision
+// engine to predict its epoch time at every candidate allocation, and
+// greedily assigns cores where they help the chosen objective most.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decision.h"
+#include "core/metrics.h"
+#include "sim/cluster.h"
+
+namespace sophon::core {
+
+/// One tenant job, already stage-2 profiled.
+struct TenantJob {
+  std::string name;
+  std::vector<SampleProfile> profiles;
+  Seconds gpu_epoch_time;
+  sim::ClusterConfig cluster;  // storage_cores is ignored (the scheduler sets it)
+};
+
+enum class SchedulerObjective {
+  kMinimizeMakespan,  // min of max predicted epoch time across jobs
+  kMinimizeTotal,     // min of summed predicted epoch times
+};
+
+struct CoreAllocation {
+  std::vector<int> cores;                // per job
+  std::vector<Seconds> predicted_epoch;  // per job, at the allocated cores
+  Seconds max_epoch;
+  Seconds total_epoch;
+};
+
+/// Predict one job's epoch time when given `storage_cores` cores: runs the
+/// job's decision engine under that budget and returns the resulting
+/// bottleneck time.
+[[nodiscard]] Seconds predict_job_epoch(const TenantJob& job, int storage_cores,
+                                        const DecisionOptions& options = {});
+
+/// Split `total_cores` across `jobs` greedily by marginal objective gain.
+/// Jobs that cannot benefit from more cores stop receiving them.
+[[nodiscard]] CoreAllocation allocate_storage_cores(const std::vector<TenantJob>& jobs,
+                                                    int total_cores,
+                                                    SchedulerObjective objective,
+                                                    const DecisionOptions& options = {});
+
+/// The naive baseline: equal split (remainder to the first jobs).
+[[nodiscard]] CoreAllocation equal_split(const std::vector<TenantJob>& jobs, int total_cores,
+                                         const DecisionOptions& options = {});
+
+}  // namespace sophon::core

@@ -1,0 +1,37 @@
+#include "core/plan.h"
+
+#include "util/check.h"
+
+namespace sophon::core {
+
+OffloadPlan::OffloadPlan(std::size_t num_samples) : assignment_(num_samples, 0) {}
+
+OffloadPlan OffloadPlan::uniform(std::size_t num_samples, std::uint8_t prefix_len) {
+  OffloadPlan plan(num_samples);
+  for (auto& p : plan.assignment_) p = prefix_len;
+  return plan;
+}
+
+void OffloadPlan::set(std::size_t sample_index, std::uint8_t prefix_len) {
+  SOPHON_CHECK(sample_index < assignment_.size());
+  assignment_[sample_index] = prefix_len;
+}
+
+std::uint8_t OffloadPlan::prefix(std::size_t sample_index) const {
+  SOPHON_CHECK(sample_index < assignment_.size());
+  return assignment_[sample_index];
+}
+
+std::size_t OffloadPlan::offloaded_count() const {
+  std::size_t n = 0;
+  for (const auto p : assignment_)
+    if (p > 0) ++n;
+  return n;
+}
+
+double OffloadPlan::offloaded_fraction() const {
+  if (assignment_.empty()) return 0.0;
+  return static_cast<double>(offloaded_count()) / static_cast<double>(assignment_.size());
+}
+
+}  // namespace sophon::core

@@ -1,0 +1,41 @@
+// The offload plan: one pipeline-prefix directive per catalog sample — the
+// artifact a policy produces and the trainer consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sophon::core {
+
+class OffloadPlan {
+ public:
+  OffloadPlan() = default;
+
+  /// A plan covering `num_samples` samples, all initially not offloaded.
+  explicit OffloadPlan(std::size_t num_samples);
+
+  /// A uniform plan: every sample offloads the same prefix.
+  static OffloadPlan uniform(std::size_t num_samples, std::uint8_t prefix_len);
+
+  [[nodiscard]] std::size_t size() const { return assignment_.size(); }
+
+  void set(std::size_t sample_index, std::uint8_t prefix_len);
+  [[nodiscard]] std::uint8_t prefix(std::size_t sample_index) const;
+
+  /// The raw per-sample directive vector, in catalog order (what
+  /// sim::simulate_epoch takes).
+  [[nodiscard]] const std::vector<std::uint8_t>& assignment() const { return assignment_; }
+
+  /// Number of samples with a nonzero prefix.
+  [[nodiscard]] std::size_t offloaded_count() const;
+
+  /// Fraction of samples offloaded.
+  [[nodiscard]] double offloaded_fraction() const;
+
+ private:
+  std::vector<std::uint8_t> assignment_;
+};
+
+}  // namespace sophon::core

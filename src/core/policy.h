@@ -1,0 +1,68 @@
+// Offloading policies: SOPHON plus the paper's four baselines (§4).
+//
+//   No-Off     — the original training pipeline, nothing offloaded.
+//   All-Off    — every op of every sample runs near storage.
+//   FastFlow   — coarse offloading framework: treats the preprocessing
+//                pipeline as a single unit and all samples alike; offloads
+//                everything or nothing based on which its profile predicts
+//                to be faster.
+//   Resize-Off — offloads Decode + RandomResizedCrop for all samples.
+//   SOPHON     — two-stage profiling + per-sample decision engine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/decision.h"
+#include "core/metrics.h"
+#include "core/plan.h"
+#include "dataset/catalog.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "sim/cluster.h"
+
+namespace sophon::core {
+
+enum class PolicyKind { kNoOff, kAllOff, kFastFlow, kResizeOff, kSophon };
+
+[[nodiscard]] std::string_view policy_kind_name(PolicyKind kind);
+
+/// Everything a policy may consult when planning.
+struct PlanContext {
+  const dataset::Catalog* catalog = nullptr;
+  const pipeline::Pipeline* pipeline = nullptr;
+  const pipeline::CostModel* cost_model = nullptr;
+  sim::ClusterConfig cluster;
+  Seconds gpu_batch_time;
+  std::uint64_t seed = 0;
+
+  /// T_G for one epoch under this context.
+  [[nodiscard]] Seconds gpu_epoch_time() const;
+};
+
+/// A policy's output: the plan plus an explanation of how it was reached.
+struct PolicyDecision {
+  OffloadPlan plan;
+  bool offloading_active = false;
+  std::string rationale;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const { return policy_kind_name(kind()); }
+  [[nodiscard]] virtual PolicyDecision plan(const PlanContext& context) const = 0;
+};
+
+/// Construct a policy. `sophon_options` only affects kSophon (the ablation
+/// benches pass non-default orderings/stop rules).
+[[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                                  const DecisionOptions& sophon_options = {});
+
+/// All five policies in the paper's presentation order.
+[[nodiscard]] std::vector<std::unique_ptr<Policy>> make_all_policies();
+
+}  // namespace sophon::core

@@ -1,0 +1,92 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+#include "dataset/sampler.h"
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace sophon::core {
+
+ThroughputProfile profile_stage1(const dataset::Catalog& catalog,
+                                 const pipeline::Pipeline& pipeline,
+                                 const pipeline::CostModel& cost_model,
+                                 const sim::ClusterConfig& cluster, Seconds gpu_batch_time,
+                                 const Stage1Options& options) {
+  SOPHON_CHECK(!catalog.empty());
+  SOPHON_CHECK(options.num_batches >= 1);
+  SOPHON_CHECK(gpu_batch_time.value() > 0.0);
+
+  const std::size_t probe_samples =
+      std::min(catalog.size(), options.num_batches * cluster.batch_size);
+  const dataset::EpochOrder order(catalog.size(), options.seed, /*epoch=*/0);
+
+  // Setting 1: model training on synthetic data — pure GPU throughput.
+  const double gpu_time = gpu_batch_time.value() *
+                          static_cast<double>((probe_samples + cluster.batch_size - 1) /
+                                              cluster.batch_size);
+  const double gpu_sps = static_cast<double>(probe_samples) / gpu_time;
+
+  // Setting 2: raw fetches only — pure I/O throughput over the link.
+  Bytes io_bytes;
+  for (std::size_t pos = 0; pos < probe_samples; ++pos) {
+    const auto& meta = catalog.sample(order.at(pos));
+    io_bytes += net::wire_size(meta.raw);
+  }
+  const double io_time = io_bytes.as_double() / cluster.bandwidth.bytes_per_sec();
+  const double io_sps = static_cast<double>(probe_samples) / io_time;
+
+  // Setting 3: full local preprocessing of the cached probe data.
+  Seconds cpu_total;
+  for (std::size_t pos = 0; pos < probe_samples; ++pos) {
+    const auto& meta = catalog.sample(order.at(pos));
+    cpu_total += pipeline.suffix_cost(meta.raw, 0, cost_model);
+  }
+  const double cpu_time = cpu_total.value() / static_cast<double>(cluster.compute_cores);
+  const double cpu_sps = static_cast<double>(probe_samples) / cpu_time;
+
+  ThroughputProfile profile;
+  profile.gpu_samples_per_sec = gpu_sps;
+  profile.io_samples_per_sec = io_sps;
+  profile.cpu_samples_per_sec = cpu_sps;
+  return profile;
+}
+
+std::vector<SampleProfile> profile_stage2(const dataset::Catalog& catalog,
+                                          const pipeline::Pipeline& pipeline,
+                                          const pipeline::CostModel& cost_model) {
+  SOPHON_CHECK(!catalog.empty());
+  std::vector<SampleProfile> profiles;
+  profiles.reserve(catalog.size());
+
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& meta = catalog.sample(i);
+    const auto trace = pipeline.analytic_trace(meta.raw, cost_model);
+
+    SampleProfile p;
+    p.sample_index = static_cast<std::uint32_t>(i);
+    p.stage_sizes.reserve(trace.size());
+    p.op_costs.reserve(trace.size() - 1);
+    // Wire sizes (payload + framing) so the decision engine's traffic math
+    // matches what the link will actually carry.
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      p.stage_sizes.push_back(trace[s].size + Bytes(net::kFrameOverheadBytes));
+      if (s > 0) p.op_costs.push_back(trace[s].op_cost);
+    }
+
+    // Earliest minimal stage and the derived offload quantities.
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < p.stage_sizes.size(); ++s) {
+      if (p.stage_sizes[s] < p.stage_sizes[best]) best = s;
+    }
+    p.min_stage = static_cast<std::uint32_t>(best);
+    p.reduction = p.stage_sizes[0] - p.stage_sizes[best];
+    Seconds prefix;
+    for (std::size_t s = 0; s < best; ++s) prefix += p.op_costs[s];
+    p.prefix_time = prefix;
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+}  // namespace sophon::core

@@ -1,0 +1,49 @@
+// SOPHON's two-stage profiler (§3.1).
+//
+// Stage 1 triages the workload's bottleneck by running 50 batches under
+// three isolated settings — GPU with synthetic data, pure remote fetch, and
+// pure CPU preprocessing over cached data — and reporting each resource's
+// throughput. The cost of this stage is negligible next to a 50-epoch job.
+//
+// Stage 2 collects per-sample, per-op sizes and times. In the original
+// system this rides along with the first training epoch; here it evaluates
+// the same quantities through the pipeline's analytic path against the
+// catalog (identical numbers, no wall-clock noise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "dataset/catalog.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "sim/cluster.h"
+
+namespace sophon::core {
+
+struct Stage1Options {
+  std::size_t num_batches = 50;
+  std::uint64_t seed = 0;
+};
+
+/// Run the stage-1 triage. Throughputs are computed over the first
+/// `num_batches` batches of a shuffled epoch, matching §3.1:
+///  (1) GPU-only:   batches * batch_size / (batches * gpu_batch_time)
+///  (2) I/O-only:   bytes of those batches / bandwidth
+///  (3) CPU-only:   full local preprocessing of those batches on the
+///                  compute node's cores
+[[nodiscard]] ThroughputProfile profile_stage1(const dataset::Catalog& catalog,
+                                               const pipeline::Pipeline& pipeline,
+                                               const pipeline::CostModel& cost_model,
+                                               const sim::ClusterConfig& cluster,
+                                               Seconds gpu_batch_time,
+                                               const Stage1Options& options = {});
+
+/// Run the stage-2 per-sample trace over the whole catalog. Deterministic;
+/// one SampleProfile per catalog entry, in catalog order.
+[[nodiscard]] std::vector<SampleProfile> profile_stage2(const dataset::Catalog& catalog,
+                                                        const pipeline::Pipeline& pipeline,
+                                                        const pipeline::CostModel& cost_model);
+
+}  // namespace sophon::core

@@ -1,0 +1,55 @@
+// The "preprocess once, store, reuse" strategy the paper rejects (§3.3).
+//
+// One could preprocess every sample to its minimum-size stage a single time,
+// store the result near storage, and serve that artifact every epoch:
+// traffic matches SOPHON's best case with no recurring storage CPU. The
+// catch is accuracy: the random augmentations are drawn once, so every epoch
+// sees the same crop/flip. This module evaluates the strategy so the
+// trade-off can be quantified — traffic/time on one side, augmentation
+// diversity (distinct augmented variants per sample over a training run) on
+// the other.
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/catalog.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "sim/trainer.h"
+
+namespace sophon::core {
+
+struct ReuseEvaluation {
+  /// Epoch 0: raw reads + one-time near-storage preprocessing, stored
+  /// artifacts shipped.
+  sim::EpochStats first_epoch;
+  /// Every later epoch: stored artifacts shipped, suffix finished locally,
+  /// zero storage CPU.
+  sim::EpochStats steady_epoch;
+  /// Extra at-rest footprint of the stored artifacts on the storage nodes.
+  Bytes stored_footprint;
+  /// Distinct augmented variants each sample contributes across `epochs`
+  /// epochs: `epochs` for online preprocessing, 1 for reuse.
+  double variants_per_sample = 0.0;
+};
+
+/// Evaluate preprocess-once over `epochs` epochs. Artifacts are stored at
+/// each sample's min-size stage (falling back to stage 2 for samples whose
+/// minimum is the raw form — storing raw would just be a cache).
+[[nodiscard]] ReuseEvaluation evaluate_preprocess_once(const dataset::Catalog& catalog,
+                                                       const pipeline::Pipeline& pipeline,
+                                                       const pipeline::CostModel& cost_model,
+                                                       const sim::ClusterConfig& cluster,
+                                                       Seconds gpu_batch_time,
+                                                       std::size_t epochs, std::uint64_t seed);
+
+/// Measure augmentation diversity concretely: run the pipeline's random
+/// stages over `epochs` epochs for one sample and count distinct outputs.
+/// With `reuse` the stage-k artifact is produced once (epoch 0's streams)
+/// and only the deterministic suffix re-runs, so the count collapses to 1.
+[[nodiscard]] std::size_t count_distinct_variants(const pipeline::Pipeline& pipeline,
+                                                  const pipeline::SampleData& raw_sample,
+                                                  std::size_t epochs, std::uint64_t seed,
+                                                  std::uint64_t sample_id, bool reuse);
+
+}  // namespace sophon::core

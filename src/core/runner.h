@@ -1,0 +1,44 @@
+// End-to-end orchestration: plan with a policy, then simulate training —
+// the loop every evaluation bench and example drives.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.h"
+#include "model/gpu_model.h"
+#include "sim/trainer.h"
+
+namespace sophon::core {
+
+struct RunConfig {
+  sim::ClusterConfig cluster;
+  model::NetKind net = model::NetKind::kAlexNet;
+  model::GpuKind gpu = model::GpuKind::kRtx6000;
+  /// Data-parallel replicas: N GPUs consume batches N times faster, which
+  /// is how the paper's intro argues the remote-I/O bottleneck worsens as
+  /// accelerators multiply.
+  int gpu_count = 1;
+  std::size_t epochs = 1;  // epochs to simulate (plans are made once)
+  std::uint64_t seed = 42;
+};
+
+struct PolicyRunResult {
+  PolicyKind kind{};
+  std::string name;
+  PolicyDecision decision;
+  sim::EpochStats stats;  // averaged over RunConfig::epochs
+};
+
+/// Plan with `policy`, then simulate `config.epochs` training epochs.
+[[nodiscard]] PolicyRunResult run_policy(const Policy& policy, const dataset::Catalog& catalog,
+                                         const pipeline::Pipeline& pipeline,
+                                         const pipeline::CostModel& cost_model,
+                                         const RunConfig& config);
+
+/// Run all five policies under the same configuration (Fig 3 / Fig 4 rows).
+[[nodiscard]] std::vector<PolicyRunResult> run_all_policies(const dataset::Catalog& catalog,
+                                                            const pipeline::Pipeline& pipeline,
+                                                            const pipeline::CostModel& cost_model,
+                                                            const RunConfig& config);
+
+}  // namespace sophon::core

@@ -1,0 +1,37 @@
+// Persistence of profiling artifacts.
+//
+// Stage-2 profiling rides along with the first training epoch; a 50-epoch
+// job should not repeat it after a restart, and a plan decided for one
+// cluster configuration is worth inspecting offline. These helpers give
+// SampleProfiles and OffloadPlans a stable JSON representation plus
+// file-level save/load.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/plan.h"
+#include "util/json.h"
+
+namespace sophon::core {
+
+/// Versioned JSON encoding of a stage-2 profile set.
+[[nodiscard]] Json profiles_to_json(const std::vector<SampleProfile>& profiles);
+
+/// Inverse of profiles_to_json. nullopt on schema mismatch.
+[[nodiscard]] std::optional<std::vector<SampleProfile>> profiles_from_json(const Json& json);
+
+/// Versioned JSON encoding of an offload plan (run-length compressed — real
+/// plans are long runs of equal prefixes once sorted by sample id).
+[[nodiscard]] Json plan_to_json(const OffloadPlan& plan);
+
+[[nodiscard]] std::optional<OffloadPlan> plan_from_json(const Json& json);
+
+/// Whole-file helpers. Save overwrites; load returns nullopt on I/O or
+/// parse/schema failure.
+bool save_json_file(const Json& json, const std::string& path);
+[[nodiscard]] std::optional<Json> load_json_file(const std::string& path);
+
+}  // namespace sophon::core

@@ -1,0 +1,209 @@
+#include "dataset/calibrate.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "dataset/synth.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace sophon::dataset {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-N wall clock of a callable producing a value we must not let the
+/// optimiser discard.
+template <typename Fn>
+Seconds time_best_of(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    auto result = fn();
+    const auto elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    best = std::min(best, elapsed);
+    // Touch the result so the work cannot be elided.
+    SOPHON_CHECK(pipeline::sample_byte_size(result).count() >= 0);
+  }
+  return Seconds(best);
+}
+
+/// Least-squares fit of y ≈ a*x (single positive coefficient through the
+/// origin): a = Σxy / Σx².
+double fit_through_origin(const std::vector<std::pair<double, double>>& xy) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& [x, y] : xy) {
+    num += x * y;
+    den += x * x;
+  }
+  SOPHON_CHECK(den > 0.0);
+  return std::max(num / den, 1e-12);  // keep strictly positive
+}
+
+/// Least-squares fit of y ≈ a*x1 + b*x2 via the 2x2 normal equations,
+/// clamped to non-negative coefficients (falling back to single-variable
+/// fits when the unconstrained solution goes negative).
+std::pair<double, double> fit_two(const std::vector<std::array<double, 3>>& rows) {
+  double s11 = 0.0;
+  double s12 = 0.0;
+  double s22 = 0.0;
+  double s1y = 0.0;
+  double s2y = 0.0;
+  for (const auto& [x1, x2, y] : rows) {
+    s11 += x1 * x1;
+    s12 += x1 * x2;
+    s22 += x2 * x2;
+    s1y += x1 * y;
+    s2y += x2 * y;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  double a = 0.0;
+  double b = 0.0;
+  if (std::abs(det) > 1e-30) {
+    a = (s1y * s22 - s2y * s12) / det;
+    b = (s2y * s11 - s1y * s12) / det;
+  }
+  if (a <= 0.0 || b <= 0.0 || std::abs(det) <= 1e-30) {
+    // Degenerate or negative: fit each variable alone and keep the better.
+    std::vector<std::pair<double, double>> x1y;
+    std::vector<std::pair<double, double>> x2y;
+    for (const auto& [x1, x2, y] : rows) {
+      x1y.emplace_back(x1, y);
+      x2y.emplace_back(x2, y);
+    }
+    a = fit_through_origin(x1y) / 2.0;
+    b = fit_through_origin(x2y) / 2.0;
+  }
+  return {std::max(a, 1e-12), std::max(b, 1e-12)};
+}
+
+}  // namespace
+
+double CalibrationResult::median_relative_error() const {
+  SOPHON_CHECK(!observations.empty());
+  std::vector<double> errors;
+  errors.reserve(observations.size());
+  for (const auto& obs : observations) {
+    if (obs.measured.value() <= 0.0) continue;
+    errors.push_back(std::abs(obs.predicted.value() - obs.measured.value()) /
+                     obs.measured.value());
+  }
+  SOPHON_CHECK(!errors.empty());
+  return median(std::move(errors));
+}
+
+CalibrationResult calibrate_cost_model(std::span<const SampleMeta> samples,
+                                       const CalibrationOptions& options) {
+  SOPHON_CHECK(samples.size() >= 2);
+  SOPHON_CHECK(options.repeats >= 1);
+  const auto pipe = pipeline::Pipeline::standard();
+
+  struct Raw {
+    pipeline::OpKind op;
+    pipeline::SampleShape input;
+    Seconds measured;
+  };
+  std::vector<Raw> raw;
+
+  // (x1=bytes, x2=pixels, y=seconds) rows for the decode fit; single-factor
+  // rows for the others.
+  std::vector<std::array<double, 3>> decode_rows;
+  std::vector<std::array<double, 3>> rrc_rows;  // x1=src px read, x2=out px
+  std::vector<std::pair<double, double>> flip_rows;
+  std::vector<std::pair<double, double>> tensor_rows;
+  std::vector<std::pair<double, double>> norm_rows;
+
+  constexpr double kCropFraction = 0.54;  // matches CostCoefficients
+
+  for (const auto& meta : samples) {
+    const auto blob = materialize_encoded(meta, options.seed, options.quality);
+    const auto raw_shape = pipeline::SampleShape::encoded(
+        Bytes(static_cast<std::int64_t>(blob.size())), meta.raw.width, meta.raw.height, 3);
+
+    pipeline::SampleData data = pipeline::EncodedBlob{blob};
+    for (std::size_t op_index = 0; op_index < pipe.size(); ++op_index) {
+      const auto input_shape = pipeline::shape_of(data) ;
+      // shape_of loses encoded dims; rebuild from raw_shape for stage 0.
+      const auto in = op_index == 0 ? raw_shape : input_shape;
+      const auto t = time_best_of(options.repeats, [&] {
+        Rng rng(derive_seed(options.seed, op_index));
+        return pipe.op(op_index).apply(data, rng);
+      });
+      raw.push_back({pipe.op(op_index).kind(), in, t});
+
+      switch (pipe.op(op_index).kind()) {
+        case pipeline::OpKind::kDecode:
+          decode_rows.push_back({in.bytes.as_double(),
+                                 static_cast<double>(in.pixel_count()), t.value()});
+          break;
+        case pipeline::OpKind::kRandomResizedCrop:
+          rrc_rows.push_back({static_cast<double>(in.pixel_count()) * kCropFraction,
+                              224.0 * 224.0, t.value()});
+          break;
+        case pipeline::OpKind::kRandomHorizontalFlip:
+          flip_rows.emplace_back(static_cast<double>(in.pixel_count()) * in.channels,
+                                 t.value());
+          break;
+        case pipeline::OpKind::kToTensor:
+          tensor_rows.emplace_back(static_cast<double>(in.pixel_count()) * in.channels,
+                                   t.value());
+          break;
+        case pipeline::OpKind::kNormalize:
+          norm_rows.emplace_back(static_cast<double>(in.pixel_count()) * in.channels,
+                                 t.value());
+          break;
+      }
+      // Advance with the seeded stream so shapes follow the real pipeline.
+      Rng rng(derive_seed(options.seed, op_index));
+      data = pipe.op(op_index).apply(std::move(data), rng);
+    }
+  }
+
+  CalibrationResult result;
+  auto& coeffs = result.coefficients;
+  const auto [dec_a, dec_b] = fit_two(decode_rows);
+  coeffs.decode_ns_per_byte = dec_a * 1e9;
+  coeffs.decode_ns_per_pixel = dec_b * 1e9;
+  const auto [crop_a, resize_b] = fit_two(rrc_rows);
+  coeffs.crop_ns_per_src_pixel = crop_a * 1e9;
+  coeffs.resize_ns_per_out_pixel = resize_b * 1e9;
+  coeffs.expected_crop_area_fraction = kCropFraction;
+  coeffs.flip_ns_per_pixel = fit_through_origin(flip_rows) * 1e9;
+  coeffs.to_tensor_ns_per_element = fit_through_origin(tensor_rows) * 1e9;
+  coeffs.normalize_ns_per_element = fit_through_origin(norm_rows) * 1e9;
+  coeffs.per_op_overhead_ns = 0.0;  // native execution has no Python layer
+
+  // Predictions under the fitted model for the error report.
+  const pipeline::CostModel model(coeffs);
+  result.observations.reserve(raw.size());
+  for (const auto& r : raw) {
+    CalibrationObservation obs;
+    obs.op = r.op;
+    obs.input = r.input;
+    obs.measured = r.measured;
+    switch (r.op) {
+      case pipeline::OpKind::kDecode:
+        obs.predicted = model.decode_cost(r.input);
+        break;
+      case pipeline::OpKind::kRandomResizedCrop:
+        obs.predicted = model.resized_crop_cost(r.input, 224);
+        break;
+      case pipeline::OpKind::kRandomHorizontalFlip:
+        obs.predicted = model.flip_cost(r.input);
+        break;
+      case pipeline::OpKind::kToTensor:
+        obs.predicted = model.to_tensor_cost(r.input);
+        break;
+      case pipeline::OpKind::kNormalize:
+        obs.predicted = model.normalize_cost(r.input);
+        break;
+    }
+    result.observations.push_back(obs);
+  }
+  return result;
+}
+
+}  // namespace sophon::dataset

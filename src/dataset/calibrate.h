@@ -1,0 +1,53 @@
+// Native cost-model calibration.
+//
+// The deterministic CostModel ships with coefficients calibrated to the
+// paper's testbed; on different hardware the *relative* results hold but
+// absolute seconds drift. This module measures real wall-clock per-op times
+// over a set of materialised samples and fits fresh coefficients by least
+// squares, so `CostModel(calibrate(...).coefficients)` predicts the machine
+// it ran on. (The paper's stage-2 profiler measures per-sample times the
+// same way; fitting a parametric model on top is what lets the simulator
+// extrapolate to samples it never executed.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataset/profile.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+
+namespace sophon::dataset {
+
+struct CalibrationOptions {
+  /// Wall-clock repetitions per (op, sample); the minimum is kept, which
+  /// rejects scheduler noise.
+  int repeats = 3;
+  int quality = 70;        // SJPG quality used to materialise the samples
+  std::uint64_t seed = 42;
+};
+
+struct CalibrationObservation {
+  pipeline::OpKind op;
+  pipeline::SampleShape input;
+  Seconds measured;   // best-of-repeats wall clock
+  Seconds predicted;  // under the fitted coefficients
+};
+
+struct CalibrationResult {
+  pipeline::CostCoefficients coefficients;
+  std::vector<CalibrationObservation> observations;
+
+  /// Median of |predicted - measured| / measured across observations — how
+  /// well the fitted model explains the measurements it was fitted on.
+  [[nodiscard]] double median_relative_error() const;
+};
+
+/// Materialise each sample, execute every pipeline op for real under a
+/// timer, and fit the cost-model coefficients. `samples` should span a
+/// range of dimensions/textures (a handful from each profile is plenty).
+[[nodiscard]] CalibrationResult calibrate_cost_model(std::span<const SampleMeta> samples,
+                                                     const CalibrationOptions& options = {});
+
+}  // namespace sophon::dataset

@@ -1,0 +1,52 @@
+// The dataset catalog: static per-sample metadata for a whole corpus.
+//
+// Two construction paths mirror the two fidelity levels in DESIGN.md:
+//   * `generate`   — parametric: metadata drawn straight from a profile
+//     (used for 40 k–90 k sample simulation runs),
+//   * `from_blobs` — materialised: metadata recovered from real SJPG blobs
+//     (used by the end-to-end examples and cross-validation tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataset/profile.h"
+#include "util/units.h"
+
+namespace sophon::dataset {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Draw `profile.num_samples` sample records deterministically.
+  static Catalog generate(const DatasetProfile& profile, std::uint64_t seed);
+
+  /// Build a catalog from real encoded blobs (peeks each SJPG header).
+  /// Texture is unknown for real blobs and left at its default.
+  static Catalog from_blobs(std::span<const std::vector<std::uint8_t>> blobs);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const SampleMeta& sample(std::size_t index) const;
+  [[nodiscard]] const std::vector<SampleMeta>& samples() const { return samples_; }
+
+  /// Sum of raw encoded sizes — the dataset's at-rest footprint and the
+  /// per-epoch traffic of the No-Off policy.
+  [[nodiscard]] Bytes total_encoded() const { return total_encoded_; }
+
+  /// Mean raw encoded size.
+  [[nodiscard]] Bytes mean_encoded() const;
+
+  /// Fraction of samples whose raw size exceeds `threshold` — with the
+  /// threshold at the post-crop wire size this is the paper's "fraction of
+  /// samples that benefit from offloading".
+  [[nodiscard]] double fraction_larger_than(Bytes threshold) const;
+
+ private:
+  std::vector<SampleMeta> samples_;
+  Bytes total_encoded_;
+};
+
+}  // namespace sophon::dataset

@@ -1,0 +1,104 @@
+#include "dataset/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sophon::dataset {
+
+namespace {
+
+/// Common photo aspect ratios with rough prevalence weights; orientation is
+/// flipped with probability 0.35 (portrait shots are the minority).
+constexpr std::array<double, 5> kAspects{4.0 / 3.0, 3.0 / 2.0, 16.0 / 9.0, 1.0, 5.0 / 4.0};
+constexpr std::array<double, 5> kAspectWeights{0.40, 0.30, 0.15, 0.08, 0.07};
+
+double pick_aspect(Rng& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kAspects.size(); ++i) {
+    acc += kAspectWeights[i];
+    if (u < acc) return kAspects[i];
+  }
+  return kAspects.back();
+}
+
+const ProfileComponent& pick_component(const DatasetProfile& profile, Rng& rng) {
+  SOPHON_CHECK(!profile.components.empty());
+  double total = 0.0;
+  for (const auto& c : profile.components) total += c.weight;
+  double u = rng.uniform() * total;
+  for (const auto& c : profile.components) {
+    u -= c.weight;
+    if (u < 0.0) return c;
+  }
+  return profile.components.back();
+}
+
+}  // namespace
+
+SampleMeta draw_sample(const DatasetProfile& profile, std::uint64_t seed, std::uint64_t id) {
+  Rng rng(derive_seed(derive_seed(seed, profile.name), id));
+  const auto& comp = pick_component(profile, rng);
+
+  double pixels = rng.lognormal(std::log(comp.median_pixels), comp.sigma_pixels);
+  pixels = std::clamp(pixels, profile.min_pixels, profile.max_pixels);
+  double bpp = rng.lognormal(std::log(comp.median_bpp), comp.sigma_bpp);
+  bpp = std::clamp(bpp, profile.min_bpp, profile.max_bpp);
+
+  double aspect = pick_aspect(rng);
+  if (rng.bernoulli(0.35)) aspect = 1.0 / aspect;
+
+  int width = std::max(64, static_cast<int>(std::lround(std::sqrt(pixels * aspect))));
+  int height = std::max(64, static_cast<int>(std::lround(static_cast<double>(width) / aspect)));
+  width = std::min(width, 0xffff);
+  height = std::min(height, 0xffff);
+
+  const auto actual_pixels = static_cast<double>(width) * height;
+  const auto encoded =
+      std::max<std::int64_t>(256, static_cast<std::int64_t>(actual_pixels * bpp / 8.0));
+
+  SampleMeta meta;
+  meta.id = id;
+  meta.raw = pipeline::SampleShape::encoded(Bytes(encoded), width, height, 3);
+  // Map bpp onto texture: ~0.3 bpp is an almost flat image, ~8 bpp is noise.
+  meta.texture = std::clamp((std::log(bpp) - std::log(profile.min_bpp)) /
+                                (std::log(profile.max_bpp) - std::log(profile.min_bpp)),
+                            0.0, 1.0);
+  return meta;
+}
+
+DatasetProfile openimages_profile(std::size_t num_samples) {
+  DatasetProfile p;
+  p.name = "openimages";
+  p.num_samples = num_samples;
+  // Single broad component: large, high-quality photographs.
+  // median pixels 1.98 MP (sigma 0.55), median 1.0 bpp (sigma 0.44)
+  // → median encoded ≈ 247 KB, mean ≈ 317 KB, P(>147 KB) ≈ 0.76.
+  p.components = {{1.0, 1.98e6, 0.55, 1.0, 0.44}};
+  // SJPG (predictive coding, no transform) needs ~2-3x the rate of DCT JPEG
+  // for the same content; materialise at a moderate quality so real blob
+  // sizes stay in the same regime as the parametric (JPEG-like) sizes.
+  p.quality = 55;
+  return p;
+}
+
+DatasetProfile imagenet_profile(std::size_t num_samples) {
+  DatasetProfile p;
+  p.name = "imagenet";
+  p.num_samples = num_samples;
+  // Two components: the bulk of ImageNet is ~0.2 MP thumbnails with high
+  // per-pixel rates; a quarter are larger photographs.
+  //   small: median encoded ≈ 59 KB  (74 %)
+  //   large: median encoded ≈ 255 KB (26 %)
+  // → mean ≈ 122 KB, P(>147 KB) ≈ 0.25.
+  p.components = {
+      {0.74, 1.9e5, 0.30, 2.5, 0.33},
+      {0.26, 1.3e6, 0.35, 1.57, 0.28},
+  };
+  p.quality = 60;
+  return p;
+}
+
+}  // namespace sophon::dataset

@@ -1,0 +1,66 @@
+// Dataset profiles: parametric models of the two corpora the paper
+// evaluates on.
+//
+// The paper uses a 12 GB subset of OpenImages (>40 k images, large files —
+// 76 % shrink below the post-crop wire size) and an 11 GB subset of ImageNet
+// (smaller files — only 26 % shrink). We model each corpus as a mixture of
+// lognormal components over (pixel count, compressed bits-per-pixel); the
+// component parameters are calibrated so the derived aggregate statistics
+// match the paper:
+//   OpenImages-like: mean encoded ≈ 317 KB  → All-Off/No-Off traffic ≈ 1.9x,
+//                    P(encoded > 147 KB) ≈ 0.76.
+//   ImageNet-like:   mean encoded ≈ 120 KB  → All-Off/No-Off traffic ≈ 5x,
+//                    P(encoded > 147 KB) ≈ 0.25.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/sample.h"
+#include "util/rng.h"
+
+namespace sophon::dataset {
+
+/// One lognormal mixture component over image geometry and compressibility.
+struct ProfileComponent {
+  double weight = 1.0;          // mixture weight (normalised at sampling)
+  double median_pixels = 2e6;   // median pixel count of this component
+  double sigma_pixels = 0.5;    // lognormal sigma of pixel count
+  double median_bpp = 1.0;      // median compressed bits per pixel
+  double sigma_bpp = 0.4;       // lognormal sigma of bpp
+};
+
+/// A full dataset profile: mixture + hard clamps + codec quality.
+struct DatasetProfile {
+  std::string name;
+  std::size_t num_samples = 0;
+  std::vector<ProfileComponent> components;
+  double min_pixels = 5e4;
+  double max_pixels = 3e7;
+  double min_bpp = 0.3;
+  double max_bpp = 8.0;
+  int quality = 85;  // SJPG quality used when materialising
+};
+
+/// Static metadata for one sample drawn from a profile. `texture` in [0,1]
+/// controls the synthetic image content (0 = smooth, 1 = noisy) and is
+/// derived from the drawn bpp so that materialised blobs compress roughly
+/// like the parametric size says they should.
+struct SampleMeta {
+  std::uint64_t id = 0;
+  pipeline::SampleShape raw;  // encoded size + source dimensions
+  double texture = 0.5;
+};
+
+/// Draw one sample's metadata. Deterministic given (profile, seed, id).
+[[nodiscard]] SampleMeta draw_sample(const DatasetProfile& profile, std::uint64_t seed,
+                                     std::uint64_t id);
+
+/// The OpenImages-like corpus: 40 000 large images, ~12.7 GB total.
+[[nodiscard]] DatasetProfile openimages_profile(std::size_t num_samples = 40000);
+
+/// The ImageNet-like corpus: 90 000 mostly-small images, ~10.6 GB total.
+[[nodiscard]] DatasetProfile imagenet_profile(std::size_t num_samples = 90000);
+
+}  // namespace sophon::dataset

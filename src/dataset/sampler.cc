@@ -1,0 +1,36 @@
+#include "dataset/sampler.h"
+
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::dataset {
+
+EpochOrder::EpochOrder(std::size_t num_samples, std::uint64_t seed, std::size_t epoch) {
+  order_.resize(num_samples);
+  std::iota(order_.begin(), order_.end(), 0u);
+  Rng rng(derive_seed(derive_seed(seed, "epoch-order"), epoch));
+  // Fisher–Yates, back to front.
+  for (std::size_t i = num_samples; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order_[i - 1], order_[j]);
+  }
+}
+
+std::uint32_t EpochOrder::at(std::size_t position) const {
+  SOPHON_CHECK(position < order_.size());
+  return order_[position];
+}
+
+std::vector<BatchRange> make_batches(std::size_t num_samples, std::size_t batch_size) {
+  SOPHON_CHECK(batch_size > 0);
+  std::vector<BatchRange> batches;
+  batches.reserve((num_samples + batch_size - 1) / batch_size);
+  for (std::size_t begin = 0; begin < num_samples; begin += batch_size) {
+    batches.push_back({begin, std::min(begin + batch_size, num_samples)});
+  }
+  return batches;
+}
+
+}  // namespace sophon::dataset

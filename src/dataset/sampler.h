@@ -1,0 +1,38 @@
+// Epoch ordering and batching, mirroring a PyTorch DataLoader with
+// shuffle=true: every epoch visits every sample exactly once in a fresh
+// deterministic shuffle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sophon::dataset {
+
+/// The visit order of one epoch — a seeded Fisher–Yates shuffle of
+/// [0, num_samples). Distinct epochs get independent permutations.
+class EpochOrder {
+ public:
+  EpochOrder(std::size_t num_samples, std::uint64_t seed, std::size_t epoch);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& order() const { return order_; }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::uint32_t at(std::size_t position) const;
+
+ private:
+  std::vector<std::uint32_t> order_;
+};
+
+/// Half-open range of positions within an epoch forming one batch.
+struct BatchRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Split an epoch of `num_samples` into batches of `batch_size` (the final
+/// batch may be short, as with drop_last=false).
+[[nodiscard]] std::vector<BatchRange> make_batches(std::size_t num_samples,
+                                                   std::size_t batch_size);
+
+}  // namespace sophon::dataset

@@ -1,0 +1,110 @@
+#include "dataset/synth.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "codec/sjpg.h"
+#include "util/check.h"
+
+namespace sophon::dataset {
+
+namespace {
+
+struct Wave {
+  double fx;
+  double fy;
+  double phase;
+  double amplitude;
+};
+
+struct Blob {
+  double cx;
+  double cy;
+  double radius;
+  std::array<double, 3> color;
+};
+
+}  // namespace
+
+image::Image generate_synthetic_image(const SampleMeta& meta, std::uint64_t seed) {
+  const int w = meta.raw.width;
+  const int h = meta.raw.height;
+  SOPHON_CHECK(w > 0 && h > 0);
+  Rng rng(derive_seed(derive_seed(seed, "synth"), meta.id));
+
+  // Base gradient endpoints per channel.
+  std::array<double, 3> lo{};
+  std::array<double, 3> hi{};
+  for (int c = 0; c < 3; ++c) {
+    lo[static_cast<std::size_t>(c)] = rng.uniform(40.0, 140.0);
+    hi[static_cast<std::size_t>(c)] = rng.uniform(90.0, 220.0);
+  }
+  const double grad_angle = rng.uniform(0.0, 6.28318530717958647692);
+  const double gx = std::cos(grad_angle);
+  const double gy = std::sin(grad_angle);
+
+  // Plasma waves: frequency rises with texture.
+  const int wave_count = 2 + static_cast<int>(meta.texture * 4.0);
+  std::vector<Wave> waves;
+  waves.reserve(static_cast<std::size_t>(wave_count));
+  for (int i = 0; i < wave_count; ++i) {
+    const double freq_scale = 2.0 + meta.texture * 22.0;
+    waves.push_back({rng.uniform(0.5, freq_scale), rng.uniform(0.5, freq_scale),
+                     rng.uniform(0.0, 6.28318530717958647692), rng.uniform(6.0, 22.0)});
+  }
+
+  // A few soft blobs give the image large-scale structure.
+  const int blob_count = static_cast<int>(rng.uniform_int(2, 5));
+  std::vector<Blob> blobs;
+  blobs.reserve(static_cast<std::size_t>(blob_count));
+  for (int i = 0; i < blob_count; ++i) {
+    blobs.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0), rng.uniform(0.08, 0.35),
+                     {rng.uniform(-40.0, 40.0), rng.uniform(-40.0, 40.0), rng.uniform(-40.0, 40.0)}});
+  }
+
+  const double noise_amp = 1.5 + 90.0 * meta.texture * meta.texture;
+
+  image::Image img(w, h, 3);
+  auto& pixels = img.data();
+  std::size_t idx = 0;
+  for (int y = 0; y < h; ++y) {
+    const double v = static_cast<double>(y) / h;
+    for (int x = 0; x < w; ++x) {
+      const double u = static_cast<double>(x) / w;
+      const double t = std::clamp(0.5 + 0.5 * (gx * (u - 0.5) + gy * (v - 0.5)) * 2.0, 0.0, 1.0);
+
+      double structure = 0.0;
+      for (const auto& wave : waves) {
+        structure +=
+            wave.amplitude * std::sin(wave.fx * u * 6.28318530717958647692 +
+                                      wave.fy * v * 6.28318530717958647692 + wave.phase);
+      }
+      std::array<double, 3> blob_delta{};
+      for (const auto& blob : blobs) {
+        const double dx = u - blob.cx;
+        const double dy = v - blob.cy;
+        const double d2 = dx * dx + dy * dy;
+        const double falloff = std::exp(-d2 / (2.0 * blob.radius * blob.radius));
+        for (int c = 0; c < 3; ++c)
+          blob_delta[static_cast<std::size_t>(c)] += blob.color[static_cast<std::size_t>(c)] * falloff;
+      }
+
+      for (int c = 0; c < 3; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const double base = lo[ci] + (hi[ci] - lo[ci]) * t;
+        const double noise = noise_amp * (rng.uniform() - 0.5);
+        const double value = base + structure + blob_delta[ci] + noise;
+        pixels[idx++] = static_cast<std::uint8_t>(std::clamp(value, 0.0, 255.0));
+      }
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> materialize_encoded(const SampleMeta& meta, std::uint64_t seed,
+                                              int quality) {
+  return codec::sjpg_encode(generate_synthetic_image(meta, seed), quality);
+}
+
+}  // namespace sophon::dataset

@@ -1,0 +1,26 @@
+// Synthetic photograph generator.
+//
+// Materialised datasets need real pixel content whose compressed size varies
+// with a controllable "texture" parameter: smooth renderings stand in for
+// clean photographs (high compression), noisy ones for detailed textures
+// (low compression). The generator composes a colour gradient, a handful of
+// low-frequency plasma waves, soft blobs, and white noise whose amplitude
+// grows with `texture` — deterministic per (seed, sample id).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/profile.h"
+#include "image/image.h"
+
+namespace sophon::dataset {
+
+/// Render the synthetic image described by `meta`. Deterministic.
+[[nodiscard]] image::Image generate_synthetic_image(const SampleMeta& meta, std::uint64_t seed);
+
+/// Render and SJPG-encode at the given quality. Deterministic.
+[[nodiscard]] std::vector<std::uint8_t> materialize_encoded(const SampleMeta& meta,
+                                                            std::uint64_t seed, int quality);
+
+}  // namespace sophon::dataset

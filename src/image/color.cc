@@ -1,0 +1,84 @@
+#include "image/color.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sophon::image {
+
+namespace {
+std::uint8_t clamp_u8(int v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+}
+}  // namespace
+
+Ycbcr rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  // Fixed-point BT.601: coefficients scaled by 2^16.
+  const int ri = r;
+  const int gi = g;
+  const int bi = b;
+  const int y = (19595 * ri + 38470 * gi + 7471 * bi + 32768) >> 16;
+  const int cb = ((-11059 * ri - 21709 * gi + 32768 * bi + 32768) >> 16) + 128;
+  const int cr = ((32768 * ri - 27439 * gi - 5329 * bi + 32768) >> 16) + 128;
+  return {clamp_u8(y), clamp_u8(cb), clamp_u8(cr)};
+}
+
+Rgb ycbcr_to_rgb(std::uint8_t y, std::uint8_t cb, std::uint8_t cr) {
+  const int yi = y;
+  const int cbi = cb - 128;
+  const int cri = cr - 128;
+  const int r = yi + ((91881 * cri + 32768) >> 16);
+  const int g = yi - ((22554 * cbi + 46802 * cri + 32768) >> 16);
+  const int b = yi + ((116130 * cbi + 32768) >> 16);
+  return {clamp_u8(r), clamp_u8(g), clamp_u8(b)};
+}
+
+YcbcrPlanes split_ycbcr_420(const Image& rgb) {
+  SOPHON_CHECK(rgb.channels() == 3);
+  const int w = rgb.width();
+  const int h = rgb.height();
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+  YcbcrPlanes planes{Plane(w, h), Plane(cw, ch), Plane(cw, ch)};
+
+  // Full-resolution pass for luma; accumulate chroma for 2x2 boxes.
+  std::vector<int> cb_acc(static_cast<std::size_t>(cw) * ch, 0);
+  std::vector<int> cr_acc(static_cast<std::size_t>(cw) * ch, 0);
+  std::vector<int> n_acc(static_cast<std::size_t>(cw) * ch, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const auto ycc = rgb_to_ycbcr(rgb.at(x, y, 0), rgb.at(x, y, 1), rgb.at(x, y, 2));
+      planes.y.set(x, y, ycc.y);
+      const auto idx = static_cast<std::size_t>(y / 2) * cw + static_cast<std::size_t>(x / 2);
+      cb_acc[idx] += ycc.cb;
+      cr_acc[idx] += ycc.cr;
+      ++n_acc[idx];
+    }
+  }
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      const auto idx = static_cast<std::size_t>(cy) * cw + static_cast<std::size_t>(cx);
+      planes.cb.set(cx, cy, static_cast<std::uint8_t>((cb_acc[idx] + n_acc[idx] / 2) / n_acc[idx]));
+      planes.cr.set(cx, cy, static_cast<std::uint8_t>((cr_acc[idx] + n_acc[idx] / 2) / n_acc[idx]));
+    }
+  }
+  return planes;
+}
+
+Image merge_ycbcr_420(const Plane& y, const Plane& cb, const Plane& cr, int width, int height) {
+  SOPHON_CHECK(y.width() == width && y.height() == height);
+  SOPHON_CHECK(cb.width() == (width + 1) / 2 && cb.height() == (height + 1) / 2);
+  SOPHON_CHECK(cr.width() == cb.width() && cr.height() == cb.height());
+  Image out(width, height, 3);
+  for (int py = 0; py < height; ++py) {
+    for (int px = 0; px < width; ++px) {
+      const auto rgb = ycbcr_to_rgb(y.at(px, py), cb.at(px / 2, py / 2), cr.at(px / 2, py / 2));
+      out.set(px, py, 0, rgb.r);
+      out.set(px, py, 1, rgb.g);
+      out.set(px, py, 2, rgb.b);
+    }
+  }
+  return out;
+}
+
+}  // namespace sophon::image

@@ -1,0 +1,43 @@
+// Color-space conversion and plane resampling helpers shared by the SJPG
+// codec (RGB↔YCbCr with 4:2:0 chroma subsampling, like baseline JPEG).
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace sophon::image {
+
+/// Integer BT.601 RGB→YCbCr (full range, offset-binary chroma).
+struct Ycbcr {
+  std::uint8_t y;
+  std::uint8_t cb;
+  std::uint8_t cr;
+};
+
+[[nodiscard]] Ycbcr rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b);
+
+struct Rgb {
+  std::uint8_t r;
+  std::uint8_t g;
+  std::uint8_t b;
+};
+
+[[nodiscard]] Rgb ycbcr_to_rgb(std::uint8_t y, std::uint8_t cb, std::uint8_t cr);
+
+/// Split an RGB image into full-resolution Y plus 2x2-box-subsampled Cb/Cr
+/// planes (ceil division at odd edges).
+struct YcbcrPlanes {
+  Plane y;
+  Plane cb;
+  Plane cr;
+};
+
+[[nodiscard]] YcbcrPlanes split_ycbcr_420(const Image& rgb);
+
+/// Reassemble an RGB image from 4:2:0 planes (nearest-neighbour chroma
+/// upsampling). `width`/`height` give the full-resolution size.
+[[nodiscard]] Image merge_ycbcr_420(const Plane& y, const Plane& cb, const Plane& cr,
+                                    int width, int height);
+
+}  // namespace sophon::image

@@ -1,0 +1,32 @@
+#include "image/tensor.h"
+
+#include "util/check.h"
+
+namespace sophon::image {
+
+Tensor::Tensor(int channels, int height, int width)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      values_(static_cast<std::size_t>(channels) * static_cast<std::size_t>(height) *
+              static_cast<std::size_t>(width)) {
+  SOPHON_CHECK(channels > 0 && height > 0 && width > 0);
+}
+
+float Tensor::at(int c, int y, int x) const {
+  SOPHON_CHECK(c >= 0 && c < channels_ && y >= 0 && y < height_ && x >= 0 && x < width_);
+  return values_[(static_cast<std::size_t>(c) * static_cast<std::size_t>(height_) +
+                  static_cast<std::size_t>(y)) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void Tensor::set(int c, int y, int x, float value) {
+  SOPHON_CHECK(c >= 0 && c < channels_ && y >= 0 && y < height_ && x >= 0 && x < width_);
+  values_[(static_cast<std::size_t>(c) * static_cast<std::size_t>(height_) +
+           static_cast<std::size_t>(y)) *
+              static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = value;
+}
+
+}  // namespace sophon::image

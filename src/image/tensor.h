@@ -1,0 +1,50 @@
+// Float tensor in CHW layout — the representation a sample takes after the
+// ToTensor stage. Each element is a 4-byte float, which is why ToTensor
+// quadruples a sample's size (the paper's Finding #2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sophon::image {
+
+/// Dense float32 tensor, channel-major (CHW) like torchvision's ToTensor
+/// output. Invariant: data().size() == channels*height*width.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor; all dimensions must be positive.
+  Tensor(int channels, int height, int width);
+
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] std::int64_t numel() const {
+    return static_cast<std::int64_t>(channels_) * height_ * width_;
+  }
+
+  /// Wire cost of this representation: 4 bytes per element.
+  [[nodiscard]] Bytes byte_size() const {
+    return Bytes(static_cast<std::int64_t>(values_.size() * sizeof(float)));
+  }
+
+  [[nodiscard]] float at(int c, int y, int x) const;
+  void set(int c, int y, int x, float value);
+
+  [[nodiscard]] const std::vector<float>& data() const { return values_; }
+  [[nodiscard]] std::vector<float>& data() { return values_; }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) = default;
+
+ private:
+  int channels_ = 0;
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<float> values_;
+};
+
+}  // namespace sophon::image

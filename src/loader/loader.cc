@@ -1,0 +1,134 @@
+#include "loader/loader.h"
+
+#include "dataset/sampler.h"
+#include "net/wire.h"
+#include "storage/server.h"
+#include "util/check.h"
+
+namespace sophon::loader {
+
+DataLoader::DataLoader(net::StorageService& service, const pipeline::Pipeline& pipeline,
+                       const core::OffloadPlan& plan, std::size_t num_samples, Options options)
+    : service_(service),
+      pipeline_(pipeline),
+      plan_(plan),
+      num_samples_(num_samples),
+      options_(options) {
+  SOPHON_CHECK(num_samples > 0);
+  SOPHON_CHECK(options.num_workers >= 1);
+  SOPHON_CHECK(options.queue_capacity >= 1);
+  SOPHON_CHECK(plan.size() == 0 || plan.size() == num_samples);
+  order_ = dataset::EpochOrder(num_samples, options.seed, options.epoch).order();
+}
+
+DataLoader::~DataLoader() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_not_full_.notify_all();
+  queue_not_empty_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void DataLoader::start() {
+  SOPHON_CHECK_MSG(!started_, "start() may only be called once");
+  started_ = true;
+  workers_.reserve(options_.num_workers);
+  for (std::size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void DataLoader::worker_loop() {
+  for (;;) {
+    std::size_t position;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_ || next_position_ >= num_samples_) return;
+      position = next_position_++;
+    }
+    const std::uint64_t sample_id = order_[position];
+    const std::size_t prefix = plan_.size() == 0 ? 0 : plan_.prefix(sample_id);
+
+    net::FetchRequest request;
+    request.sample_id = sample_id;
+    request.epoch = options_.epoch;
+    request.position = position;
+    request.directive.prefix_len = static_cast<std::uint8_t>(prefix);
+    if (prefix > 0) request.directive.compress_quality = options_.compress_quality;
+    auto response = service_.fetch(request);
+
+    auto payload = net::unpack_response(response);
+    SOPHON_CHECK_MSG(payload.has_value(), "malformed fetch response");
+    auto finished = pipeline_.run_seeded(
+        std::move(*payload), response.stage, pipeline_.size(),
+        storage::augmentation_seed(options_.seed, options_.epoch, sample_id));
+
+    LoadedSample item;
+    item.sample_id = sample_id;
+    item.position = position;
+    item.wire_bytes = response.wire_bytes();
+    item.tensor = std::get<image::Tensor>(std::move(finished));
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.ordered) {
+      // The position the consumer waits for must always be admitted, or a
+      // buffer full of later positions would deadlock the pipeline.
+      queue_not_full_.wait(lock, [this, &item] {
+        return stopping_ || reorder_.size() < options_.queue_capacity ||
+               item.position == next_deliver_;
+      });
+      if (stopping_) return;
+      traffic_ += item.wire_bytes;
+      reorder_.emplace(item.position, std::move(item));
+    } else {
+      queue_not_full_.wait(
+          lock, [this] { return stopping_ || queue_.size() < options_.queue_capacity; });
+      if (stopping_) return;
+      traffic_ += item.wire_bytes;
+      queue_.push_back(std::move(item));
+    }
+    ++produced_;
+    lock.unlock();
+    queue_not_empty_.notify_all();
+  }
+}
+
+std::optional<LoadedSample> DataLoader::next() {
+  SOPHON_CHECK_MSG(started_, "call start() before next()");
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.ordered) {
+    queue_not_empty_.wait(lock, [this] {
+      return stopping_ || reorder_.contains(next_deliver_) || delivered_ >= num_samples_;
+    });
+    const auto it = reorder_.find(next_deliver_);
+    if (it == reorder_.end()) return std::nullopt;  // exhausted (or stopping)
+    LoadedSample item = std::move(it->second);
+    reorder_.erase(it);
+    ++next_deliver_;
+    ++delivered_;
+    lock.unlock();
+    queue_not_full_.notify_all();
+    return item;
+  }
+  queue_not_empty_.wait(lock, [this] {
+    return stopping_ || !queue_.empty() || delivered_ + queue_.size() >= num_samples_;
+  });
+  if (queue_.empty()) return std::nullopt;  // epoch exhausted (or stopping)
+  LoadedSample item = std::move(queue_.front());
+  queue_.pop_front();
+  ++delivered_;
+  lock.unlock();
+  queue_not_full_.notify_one();
+  return item;
+}
+
+Bytes DataLoader::traffic() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return traffic_;
+}
+
+}  // namespace sophon::loader

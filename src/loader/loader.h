@@ -1,0 +1,101 @@
+// Multi-worker data loader over the real fetch path.
+//
+// The compute-node counterpart of a PyTorch DataLoader: worker threads walk
+// one epoch's shuffled order, fetch each sample from the storage service
+// (carrying its offload directive), finish the remaining pipeline ops
+// locally, and hand ready tensors to the training loop through a bounded
+// queue. Augmentation uses the shared (seed, epoch, sample) streams, so the
+// produced tensors are bit-identical to single-threaded execution — worker
+// count only changes delivery order, never content.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/plan.h"
+#include "image/tensor.h"
+#include "net/rpc.h"
+#include "pipeline/pipeline.h"
+
+namespace sophon::loader {
+
+/// One fully preprocessed sample, ready for the GPU.
+struct LoadedSample {
+  std::uint64_t sample_id = 0;
+  std::size_t position = 0;  // index within the epoch's visit order
+  image::Tensor tensor;
+  Bytes wire_bytes;  // what its fetch cost on the link
+};
+
+class DataLoader {
+ public:
+  struct Options {
+    std::size_t num_workers = 4;
+    std::size_t queue_capacity = 64;
+    std::uint64_t seed = 0;   // must match the storage server's seed
+    std::size_t epoch = 0;
+    /// When nonzero, ask the server to SJPG-compress offloaded image
+    /// payloads at this quality (§6 extension; lossy).
+    std::uint8_t compress_quality = 0;
+    /// Deliver samples in epoch-position order (a reorder buffer holds
+    /// early-finished samples; the buffer may briefly exceed
+    /// queue_capacity to guarantee progress). Default: completion order.
+    bool ordered = false;
+  };
+
+  /// Borrows everything; keep service/pipeline/plan alive while loading.
+  /// `num_samples` bounds the epoch; the plan must cover it (or be empty
+  /// for no offloading).
+  DataLoader(net::StorageService& service, const pipeline::Pipeline& pipeline,
+             const core::OffloadPlan& plan, std::size_t num_samples, Options options);
+
+  /// Joins workers; pending items are discarded.
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  /// Spawn the workers. Call exactly once.
+  void start();
+
+  /// Block for the next ready sample; nullopt once the epoch is exhausted.
+  /// Samples arrive in completion order, or in epoch-position order when
+  /// Options::ordered is set.
+  [[nodiscard]] std::optional<LoadedSample> next();
+
+  /// Total response bytes fetched so far.
+  [[nodiscard]] Bytes traffic() const;
+
+ private:
+  void worker_loop();
+
+  net::StorageService& service_;
+  const pipeline::Pipeline& pipeline_;
+  const core::OffloadPlan& plan_;
+  std::size_t num_samples_;
+  Options options_;
+  std::vector<std::uint32_t> order_;
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::deque<LoadedSample> queue_;
+  std::map<std::size_t, LoadedSample> reorder_;  // ordered mode only
+  std::size_t next_deliver_ = 0;    // next position to hand out (ordered)
+  std::size_t next_position_ = 0;   // next epoch position to claim
+  std::size_t delivered_ = 0;       // items handed to next()
+  std::size_t produced_ = 0;        // items pushed by workers
+  Bytes traffic_;
+  bool stopping_ = false;
+};
+
+}  // namespace sophon::loader

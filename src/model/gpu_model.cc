@@ -1,0 +1,74 @@
+#include "model/gpu_model.h"
+
+#include "util/check.h"
+
+namespace sophon::model {
+
+std::string_view net_kind_name(NetKind net) {
+  switch (net) {
+    case NetKind::kAlexNet:
+      return "AlexNet";
+    case NetKind::kResNet18:
+      return "ResNet18";
+    case NetKind::kResNet50:
+      return "ResNet50";
+  }
+  return "Unknown";
+}
+
+std::string_view gpu_kind_name(GpuKind gpu) {
+  switch (gpu) {
+    case GpuKind::kRtx6000:
+      return "RTX-6000";
+    case GpuKind::kV100:
+      return "V100";
+  }
+  return "Unknown";
+}
+
+GpuModel::GpuModel(NetKind net, GpuKind gpu, double images_per_second, Seconds step_overhead)
+    : net_(net), gpu_(gpu), images_per_second_(images_per_second), step_overhead_(step_overhead) {
+  SOPHON_CHECK(images_per_second > 0.0);
+  SOPHON_CHECK(step_overhead.value() >= 0.0);
+}
+
+GpuModel GpuModel::lookup(NetKind net, GpuKind gpu) {
+  // Sustained fp32 training throughput (images/s), batch ~256.
+  double ips = 0.0;
+  switch (gpu) {
+    case GpuKind::kV100:
+      switch (net) {
+        case NetKind::kAlexNet:
+          ips = 3500.0;
+          break;
+        case NetKind::kResNet18:
+          ips = 1100.0;
+          break;
+        case NetKind::kResNet50:
+          ips = 360.0;
+          break;
+      }
+      break;
+    case GpuKind::kRtx6000:
+      switch (net) {
+        case NetKind::kAlexNet:
+          ips = 3100.0;
+          break;
+        case NetKind::kResNet18:
+          ips = 980.0;
+          break;
+        case NetKind::kResNet50:
+          ips = 320.0;
+          break;
+      }
+      break;
+  }
+  return GpuModel(net, gpu, ips, Seconds::millis(2.0));
+}
+
+Seconds GpuModel::batch_time(std::size_t batch_size) const {
+  SOPHON_CHECK(batch_size > 0);
+  return Seconds(static_cast<double>(batch_size) / images_per_second_) + step_overhead_;
+}
+
+}  // namespace sophon::model

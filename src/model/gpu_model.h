@@ -1,0 +1,49 @@
+// Analytic GPU step-time models.
+//
+// The paper uses GPU speed only as a throughput constant: AlexNet is
+// "compute-light and thus easily bottlenecked by data fetching", ResNet50 is
+// compute-heavy enough to hide a constrained link (Finding #5). We model a
+// (network, GPU) pair by its sustained training throughput in images/s plus
+// a fixed per-step launch overhead; throughputs are standard published
+// fp32 training numbers for the two cards the paper mentions.
+#pragma once
+
+#include <string_view>
+
+#include "util/units.h"
+
+namespace sophon::model {
+
+/// The three CNNs the paper trains/profiles.
+enum class NetKind { kAlexNet, kResNet18, kResNet50 };
+
+/// The two accelerators the paper's testbeds use.
+enum class GpuKind { kRtx6000, kV100 };
+
+[[nodiscard]] std::string_view net_kind_name(NetKind net);
+[[nodiscard]] std::string_view gpu_kind_name(GpuKind gpu);
+
+/// Step-time model for one (network, GPU) pair.
+class GpuModel {
+ public:
+  GpuModel(NetKind net, GpuKind gpu, double images_per_second, Seconds step_overhead);
+
+  /// Throughput-equivalent model from the built-in table.
+  static GpuModel lookup(NetKind net, GpuKind gpu);
+
+  [[nodiscard]] NetKind net() const { return net_; }
+  [[nodiscard]] GpuKind gpu() const { return gpu_; }
+  [[nodiscard]] double images_per_second() const { return images_per_second_; }
+
+  /// Time the GPU needs for one training step over `batch_size` samples
+  /// (forward + backward + update).
+  [[nodiscard]] Seconds batch_time(std::size_t batch_size) const;
+
+ private:
+  NetKind net_;
+  GpuKind gpu_;
+  double images_per_second_;
+  Seconds step_overhead_;
+};
+
+}  // namespace sophon::model

@@ -1,0 +1,30 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sophon::net {
+
+SimLink::SimLink(Bandwidth bandwidth, Seconds latency) : bandwidth_(bandwidth), latency_(latency) {
+  SOPHON_CHECK(bandwidth.bps() > 0.0);
+  SOPHON_CHECK(latency.value() >= 0.0);
+}
+
+Seconds SimLink::schedule(Seconds ready, Bytes size) {
+  SOPHON_CHECK(size.count() >= 0);
+  const Seconds start = std::max(ready, free_at_);
+  const Seconds duration = bandwidth_.transfer_time(size);
+  free_at_ = start + duration;
+  busy_ += duration;
+  traffic_ += size;
+  return free_at_ + latency_;
+}
+
+void SimLink::reset() {
+  free_at_ = Seconds(0.0);
+  traffic_ = Bytes(0);
+  busy_ = Seconds(0.0);
+}
+
+}  // namespace sophon::net

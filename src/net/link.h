@@ -1,0 +1,45 @@
+// The simulated inter-cluster network link.
+//
+// Models the bandwidth-capped pipe between the storage cluster and the
+// compute node (the paper throttles it to 500 Mbps): a FIFO serialising
+// resource with a per-message latency. Used by the discrete-event trainer;
+// also keeps cumulative traffic counters for the figures.
+#pragma once
+
+#include "util/units.h"
+
+namespace sophon::net {
+
+class SimLink {
+ public:
+  SimLink(Bandwidth bandwidth, Seconds latency);
+
+  /// Schedule a transfer that becomes ready at `ready`: it starts when the
+  /// link frees up, occupies the link for size/bandwidth, and lands
+  /// `latency` after its last byte leaves. Returns the arrival time.
+  Seconds schedule(Seconds ready, Bytes size);
+
+  [[nodiscard]] Bandwidth bandwidth() const { return bandwidth_; }
+  [[nodiscard]] Seconds latency() const { return latency_; }
+
+  /// Total bytes accepted since construction/reset.
+  [[nodiscard]] Bytes traffic() const { return traffic_; }
+
+  /// Cumulative time the link spent transmitting.
+  [[nodiscard]] Seconds busy_time() const { return busy_; }
+
+  /// Time at which the link next becomes free.
+  [[nodiscard]] Seconds free_at() const { return free_at_; }
+
+  /// Clear counters and availability (start of a new epoch/run).
+  void reset();
+
+ private:
+  Bandwidth bandwidth_;
+  Seconds latency_;
+  Seconds free_at_;
+  Bytes traffic_;
+  Seconds busy_;
+};
+
+}  // namespace sophon::net

@@ -1,0 +1,53 @@
+// Fetch protocol messages.
+//
+// SOPHON's design step (d): "offloading directives for each sample are
+// incorporated into data fetch requests to the storage server". A directive
+// is simply the pipeline prefix length the storage node should execute
+// before replying — 0 means "send the raw blob".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sophon::net {
+
+/// Per-sample offloading instruction: run the first `prefix_len` pipeline
+/// ops near storage, ship the result. If `compress_quality` is nonzero and
+/// the partially preprocessed payload is an uncompressed image, the storage
+/// node SJPG-re-encodes it at that quality before shipping (the paper's §6
+/// selective-compression extension; lossy, so opt-in per sample).
+struct OffloadDirective {
+  std::uint8_t prefix_len = 0;
+  std::uint8_t compress_quality = 0;  // 0 = no compression; else 1..100
+
+  friend bool operator==(OffloadDirective, OffloadDirective) = default;
+};
+
+/// Client → storage: fetch one sample, optionally preprocessed. `epoch` and
+/// `position` seed the storage-side augmentation RNG so a given (epoch,
+/// sample) pair sees the same random crop/flip regardless of where the op
+/// runs — preserving the training-accuracy argument of §3.3.
+struct FetchRequest {
+  std::uint64_t sample_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t position = 0;
+  OffloadDirective directive;
+};
+
+/// Storage → client: the (possibly partially preprocessed) payload.
+struct FetchResponse {
+  std::uint64_t sample_id = 0;
+  std::uint8_t stage = 0;  // pipeline stage of the payload
+  /// True when the payload is an SJPG-re-encoded image that the client must
+  /// decode back to stage `stage` before running the remaining ops.
+  bool payload_compressed = false;
+  std::vector<std::uint8_t> payload;  // framed wire buffer (see net/wire.h)
+
+  [[nodiscard]] Bytes wire_bytes() const {
+    return Bytes(static_cast<std::int64_t>(payload.size()));
+  }
+};
+
+}  // namespace sophon::net

@@ -1,0 +1,47 @@
+// In-process RPC: the stand-in for the paper's gRPC data-fetch path.
+//
+// The service interface is what a networked implementation would expose; the
+// loopback channel moves real bytes through the same request/response types
+// and keeps traffic counters, so examples and tests exercise the exact
+// protocol the simulator models.
+#pragma once
+
+#include <memory>
+
+#include "net/message.h"
+#include "util/units.h"
+
+namespace sophon::net {
+
+/// The storage-side fetch service (implemented in src/storage).
+class StorageService {
+ public:
+  virtual ~StorageService() = default;
+
+  /// Serve one fetch, executing the directive's pipeline prefix.
+  [[nodiscard]] virtual FetchResponse fetch(const FetchRequest& request) = 0;
+};
+
+/// A client channel to a storage service. In-process ("loopback") transport:
+/// calls go straight to the service, but every response's wire size is
+/// metered exactly as it would be on the network.
+class LoopbackChannel {
+ public:
+  /// The channel borrows the service; the caller keeps it alive.
+  explicit LoopbackChannel(StorageService& service);
+
+  [[nodiscard]] FetchResponse fetch(const FetchRequest& request);
+
+  /// Cumulative response payload traffic over this channel.
+  [[nodiscard]] Bytes traffic() const { return traffic_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+
+  void reset_counters();
+
+ private:
+  StorageService& service_;
+  Bytes traffic_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace sophon::net

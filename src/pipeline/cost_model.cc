@@ -1,0 +1,47 @@
+#include "pipeline/cost_model.h"
+
+#include "util/check.h"
+
+namespace sophon::pipeline {
+
+Seconds CostModel::decode_cost(const SampleShape& in) const {
+  SOPHON_CHECK(in.repr == Repr::kEncoded);
+  SOPHON_CHECK_MSG(in.width > 0 && in.height > 0, "decode cost needs source dimensions");
+  const double ns = coeffs_.decode_ns_per_byte * in.bytes.as_double() +
+                    coeffs_.decode_ns_per_pixel * static_cast<double>(in.pixel_count());
+  return Seconds::nanos(ns) + overhead();
+}
+
+Seconds CostModel::resized_crop_cost(const SampleShape& in, int target_size) const {
+  SOPHON_CHECK(in.repr == Repr::kImage);
+  SOPHON_CHECK(target_size > 0);
+  const double src_read =
+      coeffs_.crop_ns_per_src_pixel * static_cast<double>(in.pixel_count()) *
+      coeffs_.expected_crop_area_fraction;
+  const double out_write = coeffs_.resize_ns_per_out_pixel *
+                           static_cast<double>(target_size) * target_size;
+  return Seconds::nanos(src_read + out_write) + overhead();
+}
+
+Seconds CostModel::flip_cost(const SampleShape& in) const {
+  SOPHON_CHECK(in.repr == Repr::kImage);
+  return Seconds::nanos(coeffs_.flip_ns_per_pixel * static_cast<double>(in.pixel_count()) *
+                        in.channels) +
+         overhead();
+}
+
+Seconds CostModel::to_tensor_cost(const SampleShape& in) const {
+  SOPHON_CHECK(in.repr == Repr::kImage);
+  return Seconds::nanos(coeffs_.to_tensor_ns_per_element *
+                        static_cast<double>(in.pixel_count()) * in.channels) +
+         overhead();
+}
+
+Seconds CostModel::normalize_cost(const SampleShape& in) const {
+  SOPHON_CHECK(in.repr == Repr::kTensor);
+  return Seconds::nanos(coeffs_.normalize_ns_per_element *
+                        static_cast<double>(in.pixel_count()) * in.channels) +
+         overhead();
+}
+
+}  // namespace sophon::pipeline

@@ -1,0 +1,67 @@
+// The preprocessing operator abstraction.
+//
+// Each op supports two evaluation paths:
+//   * `apply`     — real execution on a materialised sample (pixels move),
+//   * `out_shape`/`cost` — analytic evaluation on a SampleShape, used by the
+//     profiler, decision engine and simulator so that 40 000-sample datasets
+//     can be reasoned about without decoding 40 000 images.
+// Tests cross-validate the two paths on materialised data.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "image/ops.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/sample.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace sophon::pipeline {
+
+/// The five operators of the paper's image-classification pipeline, in
+/// pipeline order.
+enum class OpKind : std::uint8_t {
+  kDecode = 0,
+  kRandomResizedCrop = 1,
+  kRandomHorizontalFlip = 2,
+  kToTensor = 3,
+  kNormalize = 4,
+};
+
+[[nodiscard]] std::string_view op_kind_name(OpKind kind);
+
+/// A single preprocessing operator. Stateless once constructed; randomness
+/// comes from the caller-provided Rng so augmentation is reproducible.
+class PreprocessOp {
+ public:
+  virtual ~PreprocessOp() = default;
+
+  [[nodiscard]] virtual OpKind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Execute on a real payload. Precondition: the input representation must
+  /// match this op's expected input (enforced with SOPHON_CHECK).
+  [[nodiscard]] virtual SampleData apply(SampleData in, Rng& rng) const = 0;
+
+  /// Shape transform without execution.
+  [[nodiscard]] virtual SampleShape out_shape(const SampleShape& in) const = 0;
+
+  /// Single-core cost of this op on an input of shape `in`.
+  [[nodiscard]] virtual Seconds cost(const SampleShape& in, const CostModel& model) const = 0;
+
+  /// True if the op draws random augmentation parameters — the reason
+  /// preprocessed data cannot simply be cached across epochs (paper §3.3).
+  [[nodiscard]] virtual bool is_random() const { return false; }
+};
+
+/// Factory helpers for the standard operators.
+std::unique_ptr<PreprocessOp> make_decode_op();
+std::unique_ptr<PreprocessOp> make_random_resized_crop_op(int target_size);
+std::unique_ptr<PreprocessOp> make_random_horizontal_flip_op(double probability = 0.5);
+std::unique_ptr<PreprocessOp> make_to_tensor_op();
+std::unique_ptr<PreprocessOp> make_normalize_op(std::array<float, 3> mean = image::kImagenetMean,
+                                                std::array<float, 3> stddev = image::kImagenetStd);
+
+}  // namespace sophon::pipeline

@@ -1,0 +1,114 @@
+#include "pipeline/pipeline.h"
+
+#include "util/check.h"
+
+namespace sophon::pipeline {
+
+Pipeline::Pipeline(std::vector<std::unique_ptr<PreprocessOp>> ops) : ops_(std::move(ops)) {
+  for (const auto& op : ops_) SOPHON_CHECK(op != nullptr);
+}
+
+Pipeline Pipeline::standard(int target_size) {
+  std::vector<std::unique_ptr<PreprocessOp>> ops;
+  ops.push_back(make_decode_op());
+  ops.push_back(make_random_resized_crop_op(target_size));
+  ops.push_back(make_random_horizontal_flip_op());
+  ops.push_back(make_to_tensor_op());
+  ops.push_back(make_normalize_op());
+  return Pipeline(std::move(ops));
+}
+
+const PreprocessOp& Pipeline::op(std::size_t index) const {
+  SOPHON_CHECK(index < ops_.size());
+  return *ops_[index];
+}
+
+SampleData Pipeline::run(SampleData sample, std::size_t from_stage, std::size_t to_stage,
+                         Rng& rng) const {
+  SOPHON_CHECK(from_stage <= to_stage && to_stage <= ops_.size());
+  for (std::size_t i = from_stage; i < to_stage; ++i) {
+    sample = ops_[i]->apply(std::move(sample), rng);
+  }
+  return sample;
+}
+
+SampleData Pipeline::run_all(SampleData sample, Rng& rng) const {
+  return run(std::move(sample), 0, ops_.size(), rng);
+}
+
+SampleData Pipeline::run_seeded(SampleData sample, std::size_t from_stage, std::size_t to_stage,
+                                std::uint64_t stream_seed) const {
+  SOPHON_CHECK(from_stage <= to_stage && to_stage <= ops_.size());
+  for (std::size_t i = from_stage; i < to_stage; ++i) {
+    Rng op_rng(derive_seed(stream_seed, static_cast<std::uint64_t>(i)));
+    sample = ops_[i]->apply(std::move(sample), op_rng);
+  }
+  return sample;
+}
+
+SampleShape Pipeline::shape_at(const SampleShape& raw, std::size_t stage) const {
+  SOPHON_CHECK(stage <= ops_.size());
+  SampleShape shape = raw;
+  for (std::size_t i = 0; i < stage; ++i) shape = ops_[i]->out_shape(shape);
+  return shape;
+}
+
+Seconds Pipeline::op_cost(const SampleShape& raw, std::size_t index,
+                          const CostModel& model) const {
+  SOPHON_CHECK(index < ops_.size());
+  return ops_[index]->cost(shape_at(raw, index), model);
+}
+
+Seconds Pipeline::prefix_cost(const SampleShape& raw, std::size_t k,
+                              const CostModel& model) const {
+  SOPHON_CHECK(k <= ops_.size());
+  Seconds total;
+  SampleShape shape = raw;
+  for (std::size_t i = 0; i < k; ++i) {
+    total += ops_[i]->cost(shape, model);
+    shape = ops_[i]->out_shape(shape);
+  }
+  return total;
+}
+
+Seconds Pipeline::suffix_cost(const SampleShape& raw, std::size_t k,
+                              const CostModel& model) const {
+  SOPHON_CHECK(k <= ops_.size());
+  Seconds total;
+  SampleShape shape = shape_at(raw, k);
+  for (std::size_t i = k; i < ops_.size(); ++i) {
+    total += ops_[i]->cost(shape, model);
+    shape = ops_[i]->out_shape(shape);
+  }
+  return total;
+}
+
+std::vector<Pipeline::StagePoint> Pipeline::analytic_trace(const SampleShape& raw,
+                                                           const CostModel& model) const {
+  std::vector<StagePoint> trace;
+  trace.reserve(ops_.size() + 1);
+  SampleShape shape = raw;
+  trace.push_back({shape.byte_size(), Seconds(0.0)});
+  for (const auto& op : ops_) {
+    const Seconds cost = op->cost(shape, model);
+    shape = op->out_shape(shape);
+    trace.push_back({shape.byte_size(), cost});
+  }
+  return trace;
+}
+
+std::size_t Pipeline::min_size_stage(const SampleShape& raw) const {
+  SampleShape shape = raw;
+  Bytes best = shape.byte_size();
+  std::size_t best_stage = 0;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    shape = ops_[i]->out_shape(shape);
+    if (shape.byte_size() < best) {
+      best = shape.byte_size();
+      best_stage = i + 1;
+    }
+  }
+  return best_stage;
+}
+
+}  // namespace sophon::pipeline

@@ -1,0 +1,79 @@
+// An ordered preprocessing pipeline with partial (stage-bounded) execution —
+// the mechanism that makes *selective* offloading possible: the storage node
+// runs ops [0, k), the compute node runs ops [k, n).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pipeline/op.h"
+
+namespace sophon::pipeline {
+
+/// A pipeline "stage" s means "after s ops have been applied"; stage 0 is
+/// the raw encoded sample, stage size() is fully preprocessed.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(std::vector<std::unique_ptr<PreprocessOp>> ops);
+
+  /// The paper's five-op image-classification pipeline:
+  /// Decode → RandomResizedCrop(target) → RandomHorizontalFlip → ToTensor →
+  /// Normalize(ImageNet stats).
+  static Pipeline standard(int target_size = 224);
+
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] const PreprocessOp& op(std::size_t index) const;
+
+  /// Execute ops [from_stage, to_stage) on a real payload.
+  [[nodiscard]] SampleData run(SampleData sample, std::size_t from_stage, std::size_t to_stage,
+                               Rng& rng) const;
+
+  /// Execute the whole pipeline.
+  [[nodiscard]] SampleData run_all(SampleData sample, Rng& rng) const;
+
+  /// Execute ops [from_stage, to_stage) with per-op RNG streams derived from
+  /// `stream_seed`. Because each op gets its own stream (keyed by op index),
+  /// the result is identical no matter where the pipeline is cut — the
+  /// property that lets the storage node run a prefix and the compute node
+  /// the suffix while preserving the exact augmentations of local execution.
+  [[nodiscard]] SampleData run_seeded(SampleData sample, std::size_t from_stage,
+                                      std::size_t to_stage, std::uint64_t stream_seed) const;
+
+  /// Analytic shape after `stage` ops, given the raw shape.
+  [[nodiscard]] SampleShape shape_at(const SampleShape& raw, std::size_t stage) const;
+
+  /// Analytic single-core cost of op `index` given the raw shape.
+  [[nodiscard]] Seconds op_cost(const SampleShape& raw, std::size_t index,
+                                const CostModel& model) const;
+
+  /// Analytic cost of ops [0, k) — what the storage node pays to deliver the
+  /// sample at stage k.
+  [[nodiscard]] Seconds prefix_cost(const SampleShape& raw, std::size_t k,
+                                    const CostModel& model) const;
+
+  /// Analytic cost of ops [k, size()) — what the compute node pays to finish
+  /// a sample received at stage k.
+  [[nodiscard]] Seconds suffix_cost(const SampleShape& raw, std::size_t k,
+                                    const CostModel& model) const;
+
+  /// Per-stage wire size and per-op cost for one sample: entry s has the
+  /// size at stage s and the cost of the op that produced it (stage 0 cost
+  /// is zero). This is exactly the stage-2 profiler's record.
+  struct StagePoint {
+    Bytes size;
+    Seconds op_cost;
+  };
+  [[nodiscard]] std::vector<StagePoint> analytic_trace(const SampleShape& raw,
+                                                       const CostModel& model) const;
+
+  /// Earliest stage at which the sample's wire size is minimal — the optimal
+  /// offload cut point for that sample (earliest minimiser spends the least
+  /// storage CPU for the same traffic).
+  [[nodiscard]] std::size_t min_size_stage(const SampleShape& raw) const;
+
+ private:
+  std::vector<std::unique_ptr<PreprocessOp>> ops_;
+};
+
+}  // namespace sophon::pipeline

@@ -1,0 +1,72 @@
+#include "pipeline/sample.h"
+
+#include "util/check.h"
+
+namespace sophon::pipeline {
+
+Bytes sample_byte_size(const SampleData& data) {
+  return std::visit([](const auto& payload) { return payload.byte_size(); }, data);
+}
+
+Repr sample_repr(const SampleData& data) {
+  if (std::holds_alternative<EncodedBlob>(data)) return Repr::kEncoded;
+  if (std::holds_alternative<image::Image>(data)) return Repr::kImage;
+  return Repr::kTensor;
+}
+
+Bytes SampleShape::byte_size() const {
+  switch (repr) {
+    case Repr::kEncoded:
+      return bytes;
+    case Repr::kImage:
+      return Bytes(pixel_count() * channels);
+    case Repr::kTensor:
+      return Bytes(pixel_count() * channels * static_cast<std::int64_t>(sizeof(float)));
+  }
+  SOPHON_CHECK_MSG(false, "unreachable");
+  return Bytes(0);
+}
+
+SampleShape SampleShape::encoded(Bytes blob_size, int width, int height, int channels) {
+  SOPHON_CHECK(blob_size.count() > 0);
+  SOPHON_CHECK(width > 0 && height > 0);
+  SOPHON_CHECK(channels == 1 || channels == 3);
+  SampleShape s;
+  s.repr = Repr::kEncoded;
+  s.width = width;
+  s.height = height;
+  s.channels = channels;
+  s.bytes = blob_size;
+  return s;
+}
+
+SampleShape shape_of(const SampleData& data) {
+  SampleShape s;
+  if (const auto* blob = std::get_if<EncodedBlob>(&data)) {
+    s.repr = Repr::kEncoded;
+    s.bytes = blob->byte_size();
+    // Encoded dims require peeking the codec header; callers that need them
+    // use the catalog metadata instead. Width/height stay 0 here.
+    s.width = 0;
+    s.height = 0;
+    s.channels = 3;
+    return s;
+  }
+  if (const auto* img = std::get_if<image::Image>(&data)) {
+    s.repr = Repr::kImage;
+    s.width = img->width();
+    s.height = img->height();
+    s.channels = img->channels();
+    s.bytes = img->byte_size();
+    return s;
+  }
+  const auto& t = std::get<image::Tensor>(data);
+  s.repr = Repr::kTensor;
+  s.width = t.width();
+  s.height = t.height();
+  s.channels = t.channels();
+  s.bytes = t.byte_size();
+  return s;
+}
+
+}  // namespace sophon::pipeline

@@ -1,0 +1,70 @@
+// A training sample as it moves through the preprocessing pipeline.
+//
+// A sample exists in one of three physical representations — compressed blob,
+// decoded uint8 image, float tensor — and the whole point of SOPHON is that
+// the *byte size* of those representations differs wildly. `SampleShape`
+// carries the metadata needed to reason about sizes/costs without touching
+// pixels (the parametric catalog and the simulator work purely on shapes).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "image/image.h"
+#include "image/tensor.h"
+#include "util/units.h"
+
+namespace sophon::pipeline {
+
+/// An encoded (SJPG) payload, the representation a sample has at rest in the
+/// storage cluster.
+struct EncodedBlob {
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] Bytes byte_size() const {
+    return Bytes(static_cast<std::int64_t>(bytes.size()));
+  }
+};
+
+/// The physical payload of a sample at some pipeline stage.
+using SampleData = std::variant<EncodedBlob, image::Image, image::Tensor>;
+
+/// Wire/rest cost of a representation.
+[[nodiscard]] Bytes sample_byte_size(const SampleData& data);
+
+/// Representation kind, for dispatch and wire tagging.
+enum class Repr : std::uint8_t { kEncoded = 0, kImage = 1, kTensor = 2 };
+
+[[nodiscard]] Repr sample_repr(const SampleData& data);
+
+/// Size-and-shape metadata for a sample at a pipeline stage — everything the
+/// analytic path (cost model, decision engine, simulator) needs. For
+/// kEncoded, `bytes` is the blob size; for kImage/kTensor it is derived from
+/// the dimensions.
+struct SampleShape {
+  Repr repr = Repr::kEncoded;
+  int width = 0;
+  int height = 0;
+  int channels = 3;
+  Bytes bytes;  // authoritative for kEncoded; derived otherwise
+
+  [[nodiscard]] std::int64_t pixel_count() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+
+  /// Wire size of this shape: blob bytes, w*h*c for images, 4*w*h*c for
+  /// tensors.
+  [[nodiscard]] Bytes byte_size() const;
+
+  /// Shape of a raw encoded sample with known source dimensions.
+  static SampleShape encoded(Bytes blob_size, int width, int height, int channels = 3);
+
+  friend bool operator==(const SampleShape& a, const SampleShape& b) = default;
+};
+
+/// Extract the shape of a materialised sample (used to cross-validate the
+/// analytic path against real execution).
+[[nodiscard]] SampleShape shape_of(const SampleData& data);
+
+}  // namespace sophon::pipeline

@@ -1,0 +1,29 @@
+// Cluster configuration: the two-node testbed of the paper's §4 as data.
+#pragma once
+
+#include "model/gpu_model.h"
+#include "util/units.h"
+
+namespace sophon::sim {
+
+/// Everything the trainer needs to know about the hardware.
+struct ClusterConfig {
+  /// Logical cores for preprocessing on the compute node (paper: 48, chosen
+  /// so preprocessing is never the local bottleneck).
+  int compute_cores = 48;
+  /// Cores the storage node can spend on offloaded preprocessing (the Fig 4
+  /// sweep variable; 0 disables offloading entirely).
+  int storage_cores = 48;
+  /// Relative speed of a storage-node core vs. a compute-node core (the §6
+  /// heterogeneous-CPU extension; the paper assumes 1.0).
+  double storage_core_speed = 1.0;
+  /// Inter-cluster link (paper: capped at 500 Mbps).
+  Bandwidth bandwidth = Bandwidth::mbps(500.0);
+  Seconds link_latency = Seconds::millis(1.0);
+  /// Loader look-ahead, in batches (bounded prefetch buffer).
+  std::size_t prefetch_batches = 8;
+
+  std::size_t batch_size = 256;
+};
+
+}  // namespace sophon::sim

@@ -1,0 +1,48 @@
+// Multi-job cluster simulation: several training jobs share the storage
+// cluster's preprocessing CPUs and the inter-cluster egress link, while each
+// job brings its own compute node and GPU (the typical GPU-cluster layout
+// the paper's §5 describes, with hundreds of jobs behind one egress pipe).
+//
+// Scheduling model: jobs issue work batch-by-batch in round-robin order, so
+// contention on the shared resources interleaves at batch granularity —
+// a faithful approximation of time-ordered arrivals when jobs progress at
+// comparable rates (documented limitation: a job stalled far behind the
+// others can be served slightly out of true time order).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/trainer.h"
+
+namespace sophon::sim {
+
+/// One tenant job's inputs to the shared simulation.
+struct JobSpec {
+  std::size_t num_samples = 0;
+  std::function<SampleFlow(std::size_t)> flow;  // per-sample demands
+  Seconds gpu_batch_time;
+  std::size_t batch_size = 256;
+  int compute_cores = 48;  // this job's own compute node
+  /// -1: contend on the shared storage pool. >= 0: this job owns a private
+  /// partition of that many storage cores (the multi-tenant scheduler's
+  /// allocation made physical).
+  int private_storage_cores = -1;
+  std::uint64_t seed = 42;
+};
+
+struct MultiJobStats {
+  std::vector<EpochStats> per_job;  // epoch stats for each job
+  Seconds makespan;                 // last job's finish
+  Bytes total_traffic;
+  Seconds shared_storage_busy;      // core-seconds on the shared pool
+};
+
+/// Simulate one epoch of every job sharing `storage_cores` preprocessing
+/// cores and one `bandwidth` link. Per-job compute nodes and GPUs are
+/// private. `cluster.compute_cores` is ignored (taken from each JobSpec).
+[[nodiscard]] MultiJobStats simulate_multijob_epoch(const std::vector<JobSpec>& jobs,
+                                                    const ClusterConfig& shared);
+
+}  // namespace sophon::sim

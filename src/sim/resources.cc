@@ -1,0 +1,53 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sophon::sim {
+
+CpuPool::CpuPool(int cores, double speed_factor) : cores_(cores), speed_factor_(speed_factor) {
+  SOPHON_CHECK(cores >= 0);
+  SOPHON_CHECK(speed_factor > 0.0);
+  for (int i = 0; i < cores; ++i) free_at_.push(0.0);
+}
+
+Seconds CpuPool::schedule(Seconds ready, Seconds duration) {
+  SOPHON_CHECK_MSG(can_schedule(), "scheduling on a zero-core pool");
+  SOPHON_CHECK(duration.value() >= 0.0);
+  const double scaled = duration.value() / speed_factor_;
+  const double core_free = free_at_.top();
+  free_at_.pop();
+  const double start = std::max(ready.value(), core_free);
+  const double done = start + scaled;
+  free_at_.push(done);
+  busy_ += Seconds(scaled);
+  last_completion_ = std::max(last_completion_, Seconds(done));
+  return Seconds(done);
+}
+
+Seconds CpuPool::makespan() const {
+  return last_completion_;
+}
+
+void CpuPool::reset() {
+  while (!free_at_.empty()) free_at_.pop();
+  for (int i = 0; i < cores_; ++i) free_at_.push(0.0);
+  busy_ = Seconds(0.0);
+  last_completion_ = Seconds(0.0);
+}
+
+Seconds GpuResource::schedule(Seconds ready, Seconds batch_time) {
+  SOPHON_CHECK(batch_time.value() >= 0.0);
+  const Seconds start = std::max(ready, free_at_);
+  free_at_ = start + batch_time;
+  busy_ += batch_time;
+  return free_at_;
+}
+
+void GpuResource::reset() {
+  free_at_ = Seconds(0.0);
+  busy_ = Seconds(0.0);
+}
+
+}  // namespace sophon::sim

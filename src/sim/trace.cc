@@ -1,0 +1,64 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sophon::sim {
+
+TraceSink TraceRecorder::sink() {
+  return [this](const SampleTimeline& row) { rows_.push_back(row); };
+}
+
+std::vector<double> TraceRecorder::link_utilization(Seconds bucket, Bandwidth bandwidth) const {
+  SOPHON_CHECK(bucket.value() > 0.0);
+  SOPHON_CHECK(bandwidth.bps() > 0.0);
+  if (rows_.empty()) return {};
+  double horizon = 0.0;
+  for (const auto& row : rows_) horizon = std::max(horizon, row.link_done.value());
+  const auto buckets = static_cast<std::size_t>(std::ceil(horizon / bucket.value()));
+  std::vector<double> busy(std::max<std::size_t>(buckets, 1), 0.0);
+  for (const auto& row : rows_) {
+    const double duration = bandwidth.transfer_time(row.wire).value();
+    // Attribute the transmission interval [link_done - duration, link_done)
+    // across the buckets it spans.
+    double start = std::max(0.0, row.link_done.value() - duration);
+    const double end = row.link_done.value();
+    while (start < end) {
+      const auto b = std::min(static_cast<std::size_t>(start / bucket.value()), busy.size() - 1);
+      const double bucket_end = (static_cast<double>(b) + 1.0) * bucket.value();
+      const double span = std::min(end, bucket_end) - start;
+      busy[b] += span;
+      start += span;
+      if (span <= 0.0) break;  // numerical guard
+    }
+  }
+  for (auto& fraction : busy) fraction = std::min(fraction / bucket.value(), 1.0);
+  return busy;
+}
+
+Seconds TraceRecorder::mean_latency() const {
+  SOPHON_CHECK(!rows_.empty());
+  double sum = 0.0;
+  for (const auto& row : rows_) sum += row.ready.value() - row.issued.value();
+  return Seconds(sum / static_cast<double>(rows_.size()));
+}
+
+Json TraceRecorder::to_json() const {
+  Json out = Json::array();
+  for (const auto& row : rows_) {
+    Json record = Json::object();
+    record.set("sample", static_cast<std::int64_t>(row.sample_index));
+    record.set("position", static_cast<std::int64_t>(row.position));
+    record.set("issued_s", row.issued.value());
+    record.set("storage_done_s", row.storage_done.value());
+    record.set("link_done_s", row.link_done.value());
+    record.set("ready_s", row.ready.value());
+    record.set("wire_bytes", static_cast<std::int64_t>(row.wire.count()));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace sophon::sim

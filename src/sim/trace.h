@@ -1,0 +1,58 @@
+// Per-sample timeline tracing for the discrete-event trainer.
+//
+// Every simulated sample has four timestamps — issued, storage CPU done,
+// last byte off the link, preprocessing finished — and the set of timelines
+// is the raw data behind any utilisation or queueing figure. The trainer
+// reports them through an optional sink; TraceRecorder collects them and
+// derives time-bucketed link utilisation plus JSON export for external
+// plotting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/json.h"
+#include "util/units.h"
+
+namespace sophon::sim {
+
+/// One sample's journey through the epoch.
+struct SampleTimeline {
+  std::uint32_t sample_index = 0;
+  std::size_t position = 0;      // index in the epoch's visit order
+  Seconds issued;                // admitted by the prefetch window
+  Seconds storage_done;          // == issued when nothing was offloaded
+  Seconds link_done;             // last byte (plus latency) arrived
+  Seconds ready;                 // compute-side preprocessing finished
+  Bytes wire;
+};
+
+using TraceSink = std::function<void(const SampleTimeline&)>;
+
+/// Collects timelines and answers aggregate questions about them.
+class TraceRecorder {
+ public:
+  /// The sink to hand to the trainer. The recorder must outlive the run.
+  [[nodiscard]] TraceSink sink();
+
+  [[nodiscard]] const std::vector<SampleTimeline>& rows() const { return rows_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  void clear() { rows_.clear(); }
+
+  /// Fraction of each `bucket`-long interval the link spent transmitting,
+  /// from t=0 to the last arrival. (Transmission time is wire/bandwidth;
+  /// it is attributed to the interval ending at link_done, which is exact
+  /// for a FIFO link.)
+  [[nodiscard]] std::vector<double> link_utilization(Seconds bucket, Bandwidth bandwidth) const;
+
+  /// Mean time from issue to ready — the per-sample pipeline latency.
+  [[nodiscard]] Seconds mean_latency() const;
+
+  /// JSON export: an array of per-sample records for external tooling.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::vector<SampleTimeline> rows_;
+};
+
+}  // namespace sophon::sim

@@ -1,0 +1,100 @@
+// The discrete-event training-epoch simulator.
+//
+// Reproduces the paper's measurement harness: one epoch of fully pipelined
+// training where every sample flows storage-CPU → link → compute-CPU → GPU,
+// under a per-sample offload assignment. Epoch time is the makespan of the
+// last batch's GPU step; data traffic is everything the link carried.
+//
+// Model choices (documented in DESIGN.md):
+//   * storage reads are free (dataset cached in storage memory, as in §4),
+//   * the link is a single FIFO pipe at the configured bandwidth,
+//   * both CPU pools are work-conserving multi-server queues over modeled
+//     op costs (every policy sees the same deterministic cost model),
+//   * the loader admits new samples with a bounded look-ahead window, like
+//     a DataLoader with a fixed prefetch depth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "dataset/catalog.h"
+#include "dataset/sampler.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "sim/cluster.h"
+#include "sim/trace.h"
+#include "storage/sharding.h"
+#include "util/units.h"
+
+namespace sophon::sim {
+
+/// What one simulated epoch measured.
+struct EpochStats {
+  Seconds epoch_time;
+  Bytes traffic;               // bytes over the inter-cluster link
+  Seconds gpu_busy;            // total GPU service time
+  double gpu_utilization = 0;  // gpu_busy / epoch_time
+  Seconds storage_cpu_busy;    // core-seconds of offloaded preprocessing
+  Seconds compute_cpu_busy;    // core-seconds of local preprocessing
+  std::size_t samples = 0;
+  std::size_t batches = 0;
+  std::size_t offloaded_samples = 0;
+};
+
+/// Per-sample resource demands, the generic currency of the simulator: what
+/// the storage node computes, what crosses the link, what the compute node
+/// finishes. Extensions (e.g. selective payload compression) express
+/// themselves as different flows for the same sample.
+struct SampleFlow {
+  Seconds storage_cpu;  // zero means "not offloaded"
+  Bytes wire;
+  Seconds compute_cpu;
+};
+
+/// Generic epoch simulation over arbitrary per-sample flows. `flow(i)` must
+/// be a pure function of the catalog index `i`. An optional trace sink
+/// receives every sample's timeline (see sim/trace.h).
+[[nodiscard]] EpochStats simulate_epoch_flows(
+    std::size_t num_samples, const std::function<SampleFlow(std::size_t)>& flow,
+    const ClusterConfig& cluster, Seconds gpu_batch_time, std::uint64_t seed,
+    std::size_t epoch_index = 0, const TraceSink& trace = {});
+
+/// Simulate one training epoch.
+///
+/// `assignment[i]` is the pipeline prefix length offloaded for catalog
+/// sample `i` (0 = fetch raw). An empty span means "no offloading at all".
+/// Preconditions: assignment is empty or one entry per catalog sample; any
+/// nonzero prefix requires storage_cores > 0.
+[[nodiscard]] EpochStats simulate_epoch(const dataset::Catalog& catalog,
+                                        const pipeline::Pipeline& pipeline,
+                                        const pipeline::CostModel& cost_model,
+                                        const ClusterConfig& cluster, Seconds gpu_batch_time,
+                                        std::span<const std::uint8_t> assignment,
+                                        std::uint64_t seed, std::size_t epoch_index = 0);
+
+/// Epoch stats for a sharded storage cluster: per-node CPU busy time on top
+/// of the aggregate measurements.
+struct ShardedEpochStats {
+  EpochStats totals;
+  std::vector<Seconds> node_cpu_busy;  // one entry per storage node
+};
+
+/// Simulate one epoch against a multi-node storage cluster: each sample's
+/// offloaded prefix runs on the CPU pool of the node that owns its shard
+/// (`cluster.storage_cores` is the per-node budget); all nodes share one
+/// egress link to the compute cluster.
+[[nodiscard]] ShardedEpochStats simulate_epoch_sharded(
+    std::size_t num_samples, const std::function<SampleFlow(std::size_t)>& flow,
+    const storage::ShardMap& shards, const ClusterConfig& cluster, Seconds gpu_batch_time,
+    std::uint64_t seed, std::size_t epoch_index = 0);
+
+/// Average several consecutive epochs (fresh shuffles, same assignment).
+[[nodiscard]] EpochStats simulate_epochs(const dataset::Catalog& catalog,
+                                         const pipeline::Pipeline& pipeline,
+                                         const pipeline::CostModel& cost_model,
+                                         const ClusterConfig& cluster, Seconds gpu_batch_time,
+                                         std::span<const std::uint8_t> assignment,
+                                         std::uint64_t seed, std::size_t num_epochs);
+
+}  // namespace sophon::sim

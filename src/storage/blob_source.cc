@@ -1,0 +1,25 @@
+#include "storage/blob_source.h"
+
+namespace sophon::storage {
+
+const std::vector<std::uint8_t>* CachingDiskSource::get(std::uint64_t sample_id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = cache_.find(sample_id); it != cache_.end()) return it->second.get();
+  }
+  auto blob = store_.get(sample_id);
+  if (!blob) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // unique_ptr keeps the address stable even if the map rehashes, and a
+  // racing loader simply keeps the first inserted copy.
+  const auto [it, inserted] =
+      cache_.emplace(sample_id, std::make_unique<std::vector<std::uint8_t>>(std::move(*blob)));
+  return it->second.get();
+}
+
+std::size_t CachingDiskSource::cached_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace sophon::storage

@@ -1,0 +1,47 @@
+// The storage server's read-side abstraction.
+//
+// A BlobSource hands out stable pointers to encoded sample blobs; the
+// in-memory DatasetStore (paper setup: dataset cached in storage RAM) and
+// the disk-backed CachingDiskSource both implement it, so the same server
+// serves either tier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_store.h"
+
+namespace sophon::storage {
+
+class BlobSource {
+ public:
+  virtual ~BlobSource() = default;
+
+  /// The raw encoded blob for `sample_id`, or nullptr if unknown. The
+  /// returned pointer must stay valid for the source's lifetime.
+  /// Implementations must be thread-safe.
+  [[nodiscard]] virtual const std::vector<std::uint8_t>* get(std::uint64_t sample_id) = 0;
+};
+
+/// Serves blobs from a DiskStore, pinning each blob in memory after its
+/// first read (read-through cache without eviction — the working set of a
+/// training job is the whole dataset anyway).
+class CachingDiskSource final : public BlobSource {
+ public:
+  /// Borrows the store; keep it alive.
+  explicit CachingDiskSource(const DiskStore& store) : store_(store) {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>* get(std::uint64_t sample_id) override;
+
+  [[nodiscard]] std::size_t cached_count() const;
+
+ private:
+  const DiskStore& store_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<std::uint8_t>>> cache_;
+};
+
+}  // namespace sophon::storage

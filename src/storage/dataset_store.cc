@@ -1,0 +1,49 @@
+#include "storage/dataset_store.h"
+
+#include "dataset/synth.h"
+#include "util/check.h"
+
+namespace sophon::storage {
+
+DatasetStore::DatasetStore(const dataset::Catalog& catalog, std::uint64_t seed, int quality)
+    : catalog_(&catalog), seed_(seed), quality_(quality) {
+  SOPHON_CHECK(quality >= 1 && quality <= 100);
+}
+
+void DatasetStore::put(std::uint64_t sample_id, std::vector<std::uint8_t> blob) {
+  SOPHON_CHECK(!blob.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = blobs_.find(sample_id); it != blobs_.end()) {
+    resident_ -= Bytes(static_cast<std::int64_t>(it->second.size()));
+  }
+  resident_ += Bytes(static_cast<std::int64_t>(blob.size()));
+  blobs_.insert_or_assign(sample_id, std::move(blob));
+}
+
+const std::vector<std::uint8_t>* DatasetStore::get(std::uint64_t sample_id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = blobs_.find(sample_id); it != blobs_.end()) return &it->second;
+    if (sample_id >= catalog_->size()) return nullptr;
+  }
+  // Materialise outside the lock (rendering + encoding is the slow part);
+  // if another thread won the race, keep its blob.
+  auto blob = dataset::materialize_encoded(catalog_->sample(static_cast<std::size_t>(sample_id)),
+                                           seed_, quality_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = blobs_.emplace(sample_id, std::move(blob));
+  if (inserted) resident_ += Bytes(static_cast<std::int64_t>(it->second.size()));
+  return &it->second;
+}
+
+std::size_t DatasetStore::materialized_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.size();
+}
+
+Bytes DatasetStore::resident_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return resident_;
+}
+
+}  // namespace sophon::storage

@@ -1,0 +1,52 @@
+// The storage node's in-memory dataset.
+//
+// The paper caches datasets in the storage node's memory to model the usual
+// situation where aggregate intra-cluster read bandwidth dwarfs the
+// inter-cluster link. This store holds real SJPG blobs, materialising them
+// lazily from a catalog's synthetic generator the first time each sample is
+// read (so small end-to-end runs pay only for what they touch).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/catalog.h"
+#include "storage/blob_source.h"
+#include "util/units.h"
+
+namespace sophon::storage {
+
+class DatasetStore final : public BlobSource {
+ public:
+  /// A store backed by a catalog's synthetic generator; blobs are rendered
+  /// and encoded on first access with the catalog's per-sample metadata.
+  DatasetStore(const dataset::Catalog& catalog, std::uint64_t seed, int quality);
+
+  /// Insert an explicit blob for `sample_id` (pre-materialised datasets).
+  void put(std::uint64_t sample_id, std::vector<std::uint8_t> blob);
+
+  /// Fetch the raw encoded blob. Materialises on first access; returns
+  /// nullptr for ids outside the catalog with no explicit blob. Thread-safe;
+  /// the returned pointer stays valid for the store's lifetime (blobs are
+  /// never erased and unordered_map rehashing does not move values).
+  [[nodiscard]] const std::vector<std::uint8_t>* get(std::uint64_t sample_id) override;
+
+  [[nodiscard]] std::size_t size() const { return catalog_->size(); }
+  [[nodiscard]] std::size_t materialized_count() const;
+
+  /// Bytes currently resident (the "cached in memory" footprint).
+  [[nodiscard]] Bytes resident_bytes() const;
+
+ private:
+  const dataset::Catalog* catalog_;
+  std::uint64_t seed_;
+  int quality_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> blobs_;
+  Bytes resident_;
+};
+
+}  // namespace sophon::storage

@@ -1,0 +1,134 @@
+#include "storage/disk_store.h"
+
+#include <fstream>
+
+#include "dataset/synth.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace sophon::storage {
+
+namespace {
+std::string blob_file_name(std::uint64_t sample_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx.sjpg", static_cast<unsigned long long>(sample_id));
+  return buf;
+}
+}  // namespace
+
+DiskStore::DiskStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+  load_manifest();
+}
+
+bool DiskStore::load_manifest() {
+  std::ifstream in(manifest_path());
+  if (!in) return false;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto json = Json::parse(text);
+  if (!json || !json->is_object() || !json->has("entries")) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto& entries = json->at("entries");
+  if (!entries.is_array()) return false;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries.at(i);
+    if (!e.is_object() || !e.has("id") || !e.has("file") || !e.has("bytes")) continue;
+    Entry entry;
+    entry.file = e.at("file").as_string();
+    entry.bytes = e.at("bytes").as_int();
+    index_.emplace(static_cast<std::uint64_t>(e.at("id").as_int()), std::move(entry));
+  }
+  return true;
+}
+
+bool DiskStore::write_manifest_locked() const {
+  Json root = Json::object();
+  root.set("kind", "sophon.disk_store");
+  root.set("version", 1);
+  Json entries = Json::array();
+  for (const auto& [id, entry] : index_) {
+    Json e = Json::object();
+    e.set("id", static_cast<std::int64_t>(id));
+    e.set("file", entry.file);
+    e.set("bytes", entry.bytes);
+    entries.push_back(std::move(e));
+  }
+  root.set("entries", std::move(entries));
+  // Write-then-rename so readers never observe a torn manifest.
+  const auto tmp = manifest_path().string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << root.dump(2) << '\n';
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, manifest_path(), ec);
+  return !ec;
+}
+
+bool DiskStore::put(std::uint64_t sample_id, const std::vector<std::uint8_t>& blob) {
+  SOPHON_CHECK(!blob.empty());
+  const auto file = blob_file_name(sample_id);
+  {
+    std::ofstream out(root_ / file, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  index_[sample_id] = {file, static_cast<std::int64_t>(blob.size())};
+  return write_manifest_locked();
+}
+
+std::optional<std::vector<std::uint8_t>> DiskStore::get(std::uint64_t sample_id) const {
+  Entry entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(sample_id);
+    if (it == index_.end()) return std::nullopt;
+    entry = it->second;
+  }
+  std::ifstream in(root_ / entry.file, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(entry.bytes));
+  in.read(reinterpret_cast<char*>(blob.data()), entry.bytes);
+  if (in.gcount() != entry.bytes) return std::nullopt;
+  return blob;
+}
+
+bool DiskStore::contains(std::uint64_t sample_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.contains(sample_id);
+}
+
+std::size_t DiskStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+Bytes DiskStore::stored_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& [id, entry] : index_) total += entry.bytes;
+  return Bytes(total);
+}
+
+std::size_t DiskStore::ingest_catalog(const dataset::Catalog& catalog, std::uint64_t seed,
+                                      int quality) {
+  std::size_t written = 0;
+  for (const auto& meta : catalog.samples()) {
+    if (contains(meta.id)) continue;
+    const auto blob = dataset::materialize_encoded(meta, seed, quality);
+    if (put(meta.id, blob)) ++written;
+  }
+  return written;
+}
+
+bool DiskStore::flush_manifest() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return write_manifest_locked();
+}
+
+}  // namespace sophon::storage

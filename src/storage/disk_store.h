@@ -1,0 +1,66 @@
+// File-backed blob store.
+//
+// The in-memory DatasetStore models the paper's "dataset cached in storage
+// memory" setup; real deployments keep blobs on disk. DiskStore persists
+// each sample as one file under a root directory plus a JSON manifest
+// (sample id → file name, size, dimensions), supports ingesting a catalog's
+// synthetic blobs, and can rebuild its index from an existing directory —
+// so a dataset materialised once is reusable across processes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/catalog.h"
+#include "util/units.h"
+
+namespace sophon::storage {
+
+class DiskStore {
+ public:
+  /// Open (or create) a store rooted at `root`. An existing manifest is
+  /// loaded; otherwise the store starts empty.
+  explicit DiskStore(std::filesystem::path root);
+
+  /// Write a blob for `sample_id` (overwrites). Returns false on I/O error.
+  bool put(std::uint64_t sample_id, const std::vector<std::uint8_t>& blob);
+
+  /// Read a blob. nullopt if absent or unreadable.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(std::uint64_t sample_id) const;
+
+  [[nodiscard]] bool contains(std::uint64_t sample_id) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Total bytes on disk according to the manifest.
+  [[nodiscard]] Bytes stored_bytes() const;
+
+  /// Materialise and ingest every sample of a catalog (skipping ids already
+  /// present). Returns the number of blobs written.
+  std::size_t ingest_catalog(const dataset::Catalog& catalog, std::uint64_t seed, int quality);
+
+  /// Persist the manifest now (also happens on every put).
+  bool flush_manifest() const;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  struct Entry {
+    std::string file;
+    std::int64_t bytes = 0;
+  };
+
+  [[nodiscard]] std::filesystem::path manifest_path() const { return root_ / "manifest.json"; }
+  bool load_manifest();
+  bool write_manifest_locked() const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> index_;
+};
+
+}  // namespace sophon::storage

@@ -1,0 +1,31 @@
+#include "storage/router.h"
+
+#include "util/check.h"
+
+namespace sophon::storage {
+
+RoutedFetchService::RoutedFetchService(std::vector<net::StorageService*> nodes,
+                                       const ShardMap& shards)
+    : nodes_(std::move(nodes)), shards_(shards), requests_(nodes_.size(), 0) {
+  SOPHON_CHECK(!nodes_.empty());
+  SOPHON_CHECK_MSG(static_cast<int>(nodes_.size()) == shards.num_nodes(),
+                   "one service per shard-map node required");
+  for (const auto* node : nodes_) SOPHON_CHECK(node != nullptr);
+}
+
+net::FetchResponse RoutedFetchService::fetch(const net::FetchRequest& request) {
+  SOPHON_CHECK_MSG(request.sample_id < shards_.size(), "sample outside the shard map");
+  const auto node = static_cast<std::size_t>(shards_.node_of(request.sample_id));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_[node];
+  }
+  return nodes_[node]->fetch(request);
+}
+
+std::vector<std::uint64_t> RoutedFetchService::per_node_requests() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+}  // namespace sophon::storage

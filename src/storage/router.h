@@ -1,0 +1,34 @@
+// Shard-routed fetch service: the real-path counterpart of the sharded
+// simulator. A compute node talks to one logical endpoint; the router
+// forwards each request to the storage node owning the sample's shard
+// (or to an explicit execution map, e.g. the replica-aware engine's output).
+#pragma once
+
+#include <vector>
+
+#include <mutex>
+
+#include "net/rpc.h"
+#include "storage/sharding.h"
+
+namespace sophon::storage {
+
+class RoutedFetchService final : public net::StorageService {
+ public:
+  /// Borrows the per-node services (index = node id) and the map; keep them
+  /// alive. The map must cover every sample id that will be fetched.
+  RoutedFetchService(std::vector<net::StorageService*> nodes, const ShardMap& shards);
+
+  [[nodiscard]] net::FetchResponse fetch(const net::FetchRequest& request) override;
+
+  /// Requests forwarded to each node so far.
+  [[nodiscard]] std::vector<std::uint64_t> per_node_requests() const;
+
+ private:
+  std::vector<net::StorageService*> nodes_;
+  const ShardMap& shards_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> requests_;
+};
+
+}  // namespace sophon::storage

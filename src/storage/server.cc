@@ -1,0 +1,101 @@
+#include "storage/server.h"
+
+#include "codec/sjpg.h"
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace sophon::storage {
+
+std::uint64_t augmentation_seed(std::uint64_t base_seed, std::uint64_t epoch,
+                                std::uint64_t sample_id) {
+  return derive_seed(derive_seed(derive_seed(base_seed, "augment"), epoch), sample_id);
+}
+
+StorageServer::StorageServer(BlobSource& store, const pipeline::Pipeline& pipeline,
+                             pipeline::CostModel cost_model, Options options)
+    : store_(store), pipeline_(pipeline), cost_model_(cost_model), options_(options) {}
+
+net::FetchResponse StorageServer::fetch(const net::FetchRequest& request) {
+  const auto* blob = store_.get(request.sample_id);
+  SOPHON_CHECK_MSG(blob != nullptr, "fetch for unknown sample id");
+  const auto prefix = static_cast<std::size_t>(request.directive.prefix_len);
+  SOPHON_CHECK_MSG(prefix <= pipeline_.size(), "directive exceeds pipeline length");
+
+  pipeline::SampleData payload = pipeline::EncodedBlob{*blob};
+  Seconds prefix_cost;
+  if (prefix > 0) {
+    // Meter the modeled cost of the prefix against the real source shape.
+    // The blob header carries the dimensions the cost model needs.
+    const auto hdr = codec::sjpg_peek(*blob);
+    SOPHON_CHECK_MSG(hdr.has_value(), "stored blob is not valid SJPG");
+    const auto raw = pipeline::SampleShape::encoded(
+        Bytes(static_cast<std::int64_t>(blob->size())), hdr->width, hdr->height, hdr->channels);
+    prefix_cost = pipeline_.prefix_cost(raw, prefix, cost_model_);
+
+    payload = pipeline_.run_seeded(
+        std::move(payload), 0, prefix,
+        augmentation_seed(options_.seed, request.epoch, request.sample_id));
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_;
+    if (prefix > 0) {
+      ++offloaded_;
+      cpu_time_ += prefix_cost;
+    }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("sophon_server_fetch").increment();
+    if (prefix > 0) {
+      options_.metrics->counter("sophon_server_offload").increment();
+      options_.metrics->duration("sophon_server_prefix_cpu").observe(prefix_cost);
+    }
+  }
+
+  net::FetchResponse response;
+  response.sample_id = request.sample_id;
+  response.stage = static_cast<std::uint8_t>(prefix);
+
+  // §6 selective compression: re-encode an image payload before shipping.
+  if (request.directive.compress_quality > 0) {
+    SOPHON_CHECK_MSG(request.directive.compress_quality <= 100,
+                     "compress_quality must be in [0, 100]");
+    if (const auto* img = std::get_if<image::Image>(&payload)) {
+      pipeline::EncodedBlob compressed;
+      compressed.bytes = codec::sjpg_encode(*img, request.directive.compress_quality);
+      // Only ship compressed when it actually helps.
+      if (compressed.byte_size() < img->byte_size()) {
+        payload = std::move(compressed);
+        response.payload_compressed = true;
+      }
+    }
+  }
+
+  response.payload = net::serialize_sample(payload);
+  return response;
+}
+
+Seconds StorageServer::modeled_cpu_time() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cpu_time_;
+}
+
+std::uint64_t StorageServer::requests_served() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+std::uint64_t StorageServer::offloaded_requests() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return offloaded_;
+}
+
+void StorageServer::reset_counters() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cpu_time_ = Seconds(0.0);
+  requests_ = 0;
+  offloaded_ = 0;
+}
+
+}  // namespace sophon::storage

@@ -1,0 +1,89 @@
+#include "storage/sharding.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::storage {
+
+ShardMap ShardMap::hashed(std::size_t num_samples, int num_nodes, std::uint64_t seed) {
+  SOPHON_CHECK(num_nodes >= 1 && num_nodes <= 0xffff);
+  ShardMap map;
+  map.num_nodes_ = num_nodes;
+  map.node_of_.reserve(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    map.node_of_.push_back(static_cast<std::uint16_t>(
+        derive_seed(seed, static_cast<std::uint64_t>(i)) % static_cast<std::uint64_t>(num_nodes)));
+  }
+  return map;
+}
+
+ShardMap ShardMap::contiguous(std::size_t num_samples, int num_nodes) {
+  SOPHON_CHECK(num_nodes >= 1 && num_nodes <= 0xffff);
+  SOPHON_CHECK(num_samples > 0);
+  ShardMap map;
+  map.num_nodes_ = num_nodes;
+  map.node_of_.reserve(num_samples);
+  const std::size_t per_node = (num_samples + static_cast<std::size_t>(num_nodes) - 1) /
+                               static_cast<std::size_t>(num_nodes);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    map.node_of_.push_back(static_cast<std::uint16_t>(i / per_node));
+  }
+  return map;
+}
+
+ShardMap ShardMap::explicit_map(std::vector<std::uint16_t> assignment, int num_nodes) {
+  SOPHON_CHECK(num_nodes >= 1 && num_nodes <= 0xffff);
+  for (const auto node : assignment) {
+    SOPHON_CHECK_MSG(node < num_nodes, "shard assignment out of range");
+  }
+  ShardMap map;
+  map.num_nodes_ = num_nodes;
+  map.node_of_ = std::move(assignment);
+  return map;
+}
+
+int ShardMap::node_of(std::size_t sample_index) const {
+  SOPHON_CHECK(sample_index < node_of_.size());
+  return node_of_[sample_index];
+}
+
+std::vector<std::size_t> ShardMap::histogram() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_nodes_), 0);
+  for (const auto node : node_of_) ++counts[node];
+  return counts;
+}
+
+ReplicaMap ReplicaMap::replicated(const ShardMap& primary, int replication, std::uint64_t seed) {
+  SOPHON_CHECK(replication >= 1);
+  SOPHON_CHECK_MSG(replication <= primary.num_nodes(),
+                   "cannot place more replicas than nodes");
+  ReplicaMap map;
+  map.num_nodes_ = primary.num_nodes();
+  map.replication_ = replication;
+  map.nodes_.reserve(primary.size() * static_cast<std::size_t>(replication));
+  for (std::size_t i = 0; i < primary.size(); ++i) {
+    const auto first = static_cast<std::uint16_t>(primary.node_of(i));
+    map.nodes_.push_back(first);
+    // Draw the remaining replicas without repetition, deterministically.
+    Rng rng(derive_seed(derive_seed(seed, "replicas"), i));
+    std::vector<bool> used(static_cast<std::size_t>(map.num_nodes_), false);
+    used[first] = true;
+    for (int r = 1; r < replication; ++r) {
+      std::uint16_t node;
+      do {
+        node = static_cast<std::uint16_t>(rng.uniform_int(0, map.num_nodes_ - 1));
+      } while (used[node]);
+      used[node] = true;
+      map.nodes_.push_back(node);
+    }
+  }
+  return map;
+}
+
+std::span<const std::uint16_t> ReplicaMap::replicas_of(std::size_t sample_index) const {
+  SOPHON_CHECK(sample_index < size());
+  return {nodes_.data() + sample_index * static_cast<std::size_t>(replication_),
+          static_cast<std::size_t>(replication_)};
+}
+
+}  // namespace sophon::storage

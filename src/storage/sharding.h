@@ -1,0 +1,76 @@
+// Dataset sharding across a multi-node storage cluster.
+//
+// The paper's storage side is a cluster (distributed FS / object store); a
+// single egress pipe connects it to the compute cluster. Samples live on
+// shards, and offloaded preprocessing consumes the *owning* node's CPUs —
+// so a skewed shard map can make one node the offloading bottleneck even
+// when the cluster as a whole has spare cores. This module provides the
+// shard-assignment strategies the sharded simulator and decision engine
+// consume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sophon::storage {
+
+/// Immutable sample→node assignment for a catalog.
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// Balanced hash placement (the common object-store behaviour).
+  static ShardMap hashed(std::size_t num_samples, int num_nodes, std::uint64_t seed);
+
+  /// Contiguous range placement (directory-per-node file layouts) — large
+  /// samples often cluster, producing CPU skew under offloading.
+  static ShardMap contiguous(std::size_t num_samples, int num_nodes);
+
+  /// Explicit assignment (tests, custom layouts). Every entry must be in
+  /// [0, num_nodes).
+  static ShardMap explicit_map(std::vector<std::uint16_t> assignment, int num_nodes);
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t size() const { return node_of_.size(); }
+  [[nodiscard]] int node_of(std::size_t sample_index) const;
+
+  /// Samples per node (diagnostics / balance checks).
+  [[nodiscard]] std::vector<std::size_t> histogram() const;
+
+ private:
+  std::vector<std::uint16_t> node_of_;
+  int num_nodes_ = 0;
+};
+
+/// Replicated placement: every sample lives on `replication` distinct nodes
+/// (primary first). Distributed stores replicate for durability; for
+/// offloading it means the prefix can run on *any* replica holder, which
+/// the replica-aware decision engine exploits to dodge hot nodes.
+class ReplicaMap {
+ public:
+  ReplicaMap() = default;
+
+  /// Extend a primary placement with `replication - 1` extra distinct
+  /// replicas per sample, drawn deterministically. `replication` must be in
+  /// [1, num_nodes].
+  static ReplicaMap replicated(const ShardMap& primary, int replication, std::uint64_t seed);
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int replication() const { return replication_; }
+  [[nodiscard]] std::size_t size() const {
+    return replication_ == 0 ? 0 : nodes_.size() / static_cast<std::size_t>(replication_);
+  }
+
+  /// The replica holders of one sample (primary first).
+  [[nodiscard]] std::span<const std::uint16_t> replicas_of(std::size_t sample_index) const;
+
+ private:
+  std::vector<std::uint16_t> nodes_;  // size() * replication_, row-major
+  int num_nodes_ = 0;
+  int replication_ = 0;
+};
+
+}  // namespace sophon::storage

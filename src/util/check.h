@@ -1,0 +1,43 @@
+// Lightweight runtime contract checking.
+//
+// SOPHON_CHECK is used to enforce preconditions and invariants on public
+// interfaces (Core Guidelines I.6/I.8). Violations throw, so tests can
+// assert on them; they are never compiled out because the checks guard
+// logic errors, not hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sophon {
+
+/// Thrown when a SOPHON_CHECK contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace sophon
+
+#define SOPHON_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) ::sophon::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                                std::string());            \
+  } while (0)
+
+#define SOPHON_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) ::sophon::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                                (msg));                    \
+  } while (0)

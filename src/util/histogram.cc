@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace sophon {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SOPHON_CHECK(hi > lo);
+  SOPHON_CHECK(buckets > 0);
+}
+
+void Histogram::add(double value) {
+  SOPHON_CHECK_MSG(std::isfinite(value), "histogram values must be finite");
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((value - lo_) / span * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  SOPHON_CHECK(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  SOPHON_CHECK(bucket < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bucket) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bucket)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%10.3g, %10.3g) ", bucket_lo(i), bucket_hi(i));
+    os << label;
+    const auto bar = counts_[i] * max_width / peak;
+    for (std::size_t j = 0; j < bar; ++j) os << '#';
+    os << "  " << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+void EmpiricalCdf::add(double value) {
+  SOPHON_CHECK_MSG(std::isfinite(value), "CDF values must be finite");
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& values) {
+  for (const auto value : values) add(value);
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  SOPHON_CHECK(!values_.empty());
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  SOPHON_CHECK(!values_.empty());
+  ensure_sorted();
+  return percentile(values_, q);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(std::size_t points) const {
+  SOPHON_CHECK(!values_.empty());
+  SOPHON_CHECK(points >= 2);
+  ensure_sorted();
+  const double lo = values_.front();
+  const double hi = values_.back();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_at_or_below(x));
+  }
+  return out;
+}
+
+}  // namespace sophon

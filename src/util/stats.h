@@ -1,0 +1,44 @@
+// Summary statistics used by the profiler and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace sophon {
+
+/// Single-pass running statistics (Welford). Numerically stable mean and
+/// variance without storing samples; used for per-op cost aggregation.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator). Zero for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample set with linear interpolation between ranks.
+/// `q` in [0, 1]. Copies and sorts; intended for reporting, not hot paths.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Convenience: median of a sample set.
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace sophon

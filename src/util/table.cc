@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sophon {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  SOPHON_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  SOPHON_CHECK_MSG(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digit_seen = true;
+    else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' && c != 'x' && c != '%' &&
+             c != ' ')
+      return false;
+  }
+  return digit_seen;
+}
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) rule += width[c] + (c > 0 ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace sophon

@@ -1,0 +1,34 @@
+// Aligned plain-text table rendering for the benchmark harness — every
+// figure/table bench prints its rows through this so outputs are uniform and
+// easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sophon {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is the
+/// caller's job (benches format with the precision the paper reports).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule, two-space column gutters, right-aligned
+  /// numeric-looking cells, left-aligned text cells.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string (benches use it for cells).
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sophon

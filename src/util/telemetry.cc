@@ -1,0 +1,68 @@
+#include "util/telemetry.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace sophon {
+
+void DurationStat::observe(Seconds duration) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.add(duration.value());
+}
+
+RunningStats DurationStat::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+DurationStat& MetricsRegistry::duration(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = durations_[name];
+  if (!slot) slot = std::make_unique<DurationStat>();
+  return *slot;
+}
+
+std::string MetricsRegistry::expose() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << name << "_total " << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << name << ' ' << gauge->value() << '\n';
+  }
+  for (const auto& [name, duration] : durations_) {
+    const auto stats = duration->snapshot();
+    os << name << "_seconds_count " << stats.count() << '\n';
+    os << name << "_seconds_sum " << stats.sum() << '\n';
+    if (stats.count() > 0) {
+      os << name << "_seconds_min " << stats.min() << '\n';
+      os << name << "_seconds_max " << stats.max() << '\n';
+    }
+  }
+  return os.str();
+}
+
+ScopedTimer::ScopedTimer(DurationStat& stat)
+    : stat_(stat), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  stat_.observe(Seconds(std::chrono::duration<double>(elapsed).count()));
+}
+
+}  // namespace sophon

@@ -1,0 +1,85 @@
+// Lightweight process telemetry: named counters, gauges and duration
+// accumulators behind one registry, with a Prometheus-style text exposition.
+// The CLI tool and long-running examples use this to report what the run
+// actually did (fetches, bytes moved, preprocess time) without threading
+// bespoke counters through every call site.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace sophon {
+
+/// Monotonically increasing counter. Thread-safe.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge. Thread-safe.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Duration accumulator: count / total / mean / min / max of observed spans.
+class DurationStat {
+ public:
+  void observe(Seconds duration);
+  [[nodiscard]] RunningStats snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  RunningStats stats_;
+};
+
+/// Named-metric registry. Metric objects are created on first use and live
+/// as long as the registry; returned references stay valid.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] DurationStat& duration(const std::string& name);
+
+  /// Prometheus-ish plain-text dump, keys sorted for diffability:
+  ///   sophon_fetch_total 1234
+  ///   sophon_fetch_seconds_sum 1.5
+  [[nodiscard]] std::string expose() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<DurationStat>> durations_;
+};
+
+/// RAII span timer feeding a DurationStat with wall-clock time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(DurationStat& stat);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  DurationStat& stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sophon

@@ -1,0 +1,41 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sophon {
+
+namespace {
+std::string fmt(double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffix);
+  return buf;
+}
+}  // namespace
+
+std::string human_bytes(Bytes b) {
+  const double v = std::abs(b.as_double());
+  const double sign = b.count() < 0 ? -1.0 : 1.0;
+  if (v < 1024.0) return fmt(sign * v, "B");
+  if (v < 1024.0 * 1024.0) return fmt(sign * v / 1024.0, "KiB");
+  if (v < 1024.0 * 1024.0 * 1024.0) return fmt(sign * v / (1024.0 * 1024.0), "MiB");
+  return fmt(sign * v / (1024.0 * 1024.0 * 1024.0), "GiB");
+}
+
+std::string human_seconds(Seconds s) {
+  const double v = std::abs(s.value());
+  const double sign = s.value() < 0 ? -1.0 : 1.0;
+  if (v < 1e-6) return fmt(sign * v * 1e9, "ns");
+  if (v < 1e-3) return fmt(sign * v * 1e6, "us");
+  if (v < 1.0) return fmt(sign * v * 1e3, "ms");
+  return fmt(sign * v, "s");
+}
+
+std::string human_bandwidth(Bandwidth bw) {
+  const double v = bw.bps();
+  if (v < 1e6) return fmt(v / 1e3, "Kbps");
+  if (v < 1e9) return fmt(v / 1e6, "Mbps");
+  return fmt(v / 1e9, "Gbps");
+}
+
+}  // namespace sophon

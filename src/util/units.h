@@ -1,0 +1,115 @@
+// Strong unit types for the quantities SOPHON reasons about: byte counts,
+// simulated time, and link bandwidth. Keeping these as distinct types (rather
+// than bare doubles) prevents the classic bytes-vs-bits and seconds-vs-ms
+// mix-ups that plague bandwidth math.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sophon {
+
+/// A byte count. Value type; arithmetic saturates at the int64 range in
+/// practice (datasets here are far below exabytes).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const { return static_cast<double>(count_); }
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.count_ + b.count_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.count_ - b.count_); }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) { return Bytes(a.count_ * k); }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return Bytes(a.count_ * k); }
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.as_double() / b.as_double(); }
+  friend constexpr auto operator<=>(Bytes a, Bytes b) = default;
+
+  /// Helpers for readable literals in tests and configs.
+  static constexpr Bytes kib(std::int64_t n) { return Bytes(n * 1024); }
+  static constexpr Bytes mib(std::int64_t n) { return Bytes(n * 1024 * 1024); }
+  static constexpr Bytes gib(std::int64_t n) { return Bytes(n * 1024 * 1024 * 1024); }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+/// Simulated wall-clock time in seconds (double precision is ample for the
+/// micro-to-kilosecond range the simulator covers).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Seconds& operator+=(Seconds other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Seconds& operator-=(Seconds other) {
+    value_ -= other.value_;
+    return *this;
+  }
+
+  friend constexpr Seconds operator+(Seconds a, Seconds b) { return Seconds(a.value_ + b.value_); }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) { return Seconds(a.value_ - b.value_); }
+  friend constexpr Seconds operator*(Seconds a, double k) { return Seconds(a.value_ * k); }
+  friend constexpr Seconds operator*(double k, Seconds a) { return Seconds(a.value_ * k); }
+  friend constexpr Seconds operator/(Seconds a, double k) { return Seconds(a.value_ / k); }
+  friend constexpr double operator/(Seconds a, Seconds b) { return a.value_ / b.value_; }
+  friend constexpr auto operator<=>(Seconds a, Seconds b) = default;
+
+  static constexpr Seconds millis(double ms) { return Seconds(ms / 1e3); }
+  static constexpr Seconds micros(double us) { return Seconds(us / 1e6); }
+  static constexpr Seconds nanos(double ns) { return Seconds(ns / 1e9); }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Link bandwidth. Stored in bits per second because network capacities are
+/// universally quoted in bits (the paper caps the link at 500 Mbps).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth bits_per_sec(double bps) { return Bandwidth(bps); }
+  static constexpr Bandwidth mbps(double m) { return Bandwidth(m * 1e6); }
+  static constexpr Bandwidth gbps(double g) { return Bandwidth(g * 1e9); }
+
+  [[nodiscard]] constexpr double bps() const { return bits_per_sec_; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bits_per_sec_ / 8.0; }
+
+  /// Time to move `payload` over this link at full rate (no latency).
+  [[nodiscard]] constexpr Seconds transfer_time(Bytes payload) const {
+    return Seconds(payload.as_double() / bytes_per_sec());
+  }
+
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) = default;
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bits_per_sec_(bps) {}
+  double bits_per_sec_ = 0.0;
+};
+
+/// Render a byte count with a binary-unit suffix, e.g. "1.4 MiB".
+std::string human_bytes(Bytes b);
+
+/// Render a duration with an adaptive unit, e.g. "3.2 ms" or "71.5 s".
+std::string human_seconds(Seconds s);
+
+/// Render a bandwidth, e.g. "500.0 Mbps".
+std::string human_bandwidth(Bandwidth bw);
+
+}  // namespace sophon

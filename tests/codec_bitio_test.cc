@@ -1,0 +1,99 @@
+#include "codec/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::codec {
+namespace {
+
+TEST(BitIo, SingleByteRoundTrip) {
+  BitWriter w;
+  w.put(0b1011, 4);
+  w.put(0b0101, 4);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110101);
+
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(4), 0b1011u);
+  EXPECT_EQ(r.get(4), 0b0101u);
+  EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitIo, PartialBytePadsWithZeros) {
+  BitWriter w;
+  w.put(0b111, 3);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b11100000);
+}
+
+TEST(BitIo, BitCountExcludesPadding) {
+  BitWriter w;
+  w.put(0x3, 2);
+  w.put(0x1ff, 9);
+  EXPECT_EQ(w.bit_count(), 11u);
+}
+
+TEST(BitIo, MaskingOfExtraHighBits) {
+  BitWriter w;
+  w.put(0xffffffffffffffffULL, 4);  // only low 4 bits should land
+  w.put(0, 4);
+  const auto bytes = w.finish();
+  EXPECT_EQ(bytes[0], 0xf0);
+}
+
+TEST(BitIo, ReadPastEndSetsOverrun) {
+  BitWriter w;
+  w.put(0xab, 8);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(8), 0xabu);
+  EXPECT_FALSE(r.overrun());
+  EXPECT_EQ(r.get(8), 0u);  // zero-filled
+  EXPECT_TRUE(r.overrun());
+}
+
+TEST(BitIo, GetBit) {
+  BitWriter w;
+  w.put(0b10, 2);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bit(), 1);
+  EXPECT_EQ(r.get_bit(), 0);
+  EXPECT_EQ(r.bits_consumed(), 2u);
+}
+
+TEST(BitIo, RejectsOversizedGroups) {
+  BitWriter w;
+  EXPECT_THROW(w.put(0, 58), ContractViolation);
+  BitReader r({});
+  EXPECT_THROW((void)r.get(58), ContractViolation);
+  EXPECT_THROW((void)r.get(-1), ContractViolation);
+}
+
+TEST(BitIo, RandomRoundTripProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, int>> groups;
+    for (int i = 0; i < 200; ++i) {
+      const int count = static_cast<int>(rng.uniform_int(1, 57));
+      const std::uint64_t value =
+          rng.next() & ((count < 64) ? ((1ULL << count) - 1) : ~0ULL);
+      groups.emplace_back(value, count);
+      w.put(value, count);
+    }
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    for (const auto& [value, count] : groups) {
+      EXPECT_EQ(r.get(count), value);
+    }
+    EXPECT_FALSE(r.overrun());
+  }
+}
+
+}  // namespace
+}  // namespace sophon::codec

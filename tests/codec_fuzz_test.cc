@@ -1,0 +1,110 @@
+// Robustness fuzzing: the decoder and the wire parser must never crash,
+// hang, or violate contracts on arbitrary input — they return nullopt.
+// (Deterministic pseudo-random corpus so CI results are reproducible.)
+#include <gtest/gtest.h>
+
+#include "codec/sjpg.h"
+#include "net/wire.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace sophon {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+TEST(CodecFuzz, RandomBuffersNeverCrashDecoder) {
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto junk = random_bytes(rng, 4096);
+    (void)codec::sjpg_peek(junk);
+    (void)codec::sjpg_decode(junk);  // must return; result value irrelevant
+  }
+  SUCCEED();
+}
+
+TEST(CodecFuzz, ValidMagicRandomBodyNeverCrashes) {
+  Rng rng(102);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto junk = random_bytes(rng, 2048);
+    if (junk.size() < 10) junk.resize(10);
+    junk[0] = 0x53;  // 'S'
+    junk[1] = 0x4a;  // 'J'
+    junk[2] = 0x50;  // 'P'
+    junk[3] = 0x47;  // 'G'
+    // Clamp header fields into the valid range so decoding proceeds into
+    // the entropy-coded body.
+    junk[4] = 0;
+    junk[5] = static_cast<std::uint8_t>(1 + trial % 64);  // width
+    junk[6] = 0;
+    junk[7] = static_cast<std::uint8_t>(1 + trial % 48);  // height
+    junk[8] = (trial % 2 == 0) ? 3 : 1;                   // channels
+    junk[9] = static_cast<std::uint8_t>(1 + trial % 100); // quality
+    const auto decoded = codec::sjpg_decode(junk);
+    if (decoded.has_value()) {
+      // If it decodes, the dimensions must match the header we forged.
+      EXPECT_EQ(decoded->width(), junk[5]);
+      EXPECT_EQ(decoded->height(), junk[7]);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CodecFuzz, TruncationSweepOnValidBlob) {
+  // Every truncation point of a valid stream must be rejected or decode to
+  // a well-formed image — never crash.
+  image::Image img(32, 24, 3);
+  for (int y = 0; y < 24; ++y)
+    for (int x = 0; x < 32; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.set(x, y, c, static_cast<std::uint8_t>((x * 7 + y * 3 + c) % 256));
+  const auto blob = codec::sjpg_encode(img, 75);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(blob.begin(),
+                                           blob.begin() + static_cast<std::ptrdiff_t>(len));
+    (void)codec::sjpg_decode(prefix);
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, RandomBuffersNeverCrashDeserializer) {
+  Rng rng(103);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto junk = random_bytes(rng, 1024);
+    (void)net::deserialize_sample(junk);
+  }
+  SUCCEED();
+}
+
+TEST(JsonFuzz, RandomTextNeverCrashesParser) {
+  Rng rng(104);
+  const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsnl \t\n";
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string text;
+    const auto len = rng.uniform_int(0, 200);
+    text.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+      text += alphabet[rng.uniform_int(0, static_cast<std::int64_t>(sizeof(alphabet)) - 2)];
+    }
+    (void)Json::parse(text);
+  }
+  SUCCEED();
+}
+
+TEST(JsonFuzz, DeepNestingDoesNotOverflowQuickly) {
+  // 2000 nested arrays — parse must either succeed or fail cleanly.
+  std::string text;
+  for (int i = 0; i < 2000; ++i) text += '[';
+  text += '1';
+  for (int i = 0; i < 2000; ++i) text += ']';
+  const auto parsed = Json::parse(text);
+  EXPECT_TRUE(parsed.has_value());
+}
+
+}  // namespace
+}  // namespace sophon

@@ -1,0 +1,160 @@
+#include "codec/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::codec {
+namespace {
+
+TEST(HuffmanLengths, EmptyAlphabet) {
+  const auto lengths = huffman_code_lengths({0, 0, 0});
+  EXPECT_EQ(lengths, (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(HuffmanLengths, SingleSymbolGetsLengthOne) {
+  const auto lengths = huffman_code_lengths({0, 5, 0});
+  EXPECT_EQ(lengths[1], 1);
+  EXPECT_EQ(lengths[0], 0);
+}
+
+TEST(HuffmanLengths, TwoEqualSymbols) {
+  const auto lengths = huffman_code_lengths({10, 10});
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(HuffmanLengths, SkewedFrequenciesGetShorterCodes) {
+  const auto lengths = huffman_code_lengths({1000, 10, 10, 10});
+  EXPECT_LT(lengths[0], lengths[1]);
+}
+
+TEST(HuffmanLengths, KraftInequalityHolds) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freqs(300);
+    for (auto& f : freqs) f = rng.bernoulli(0.3) ? 0 : static_cast<std::uint64_t>(
+                                                           rng.uniform_int(1, 1000000));
+    const int max_len = 16;
+    const auto lengths = huffman_code_lengths(freqs, max_len);
+    double kraft = 0.0;
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] > 0) {
+        EXPECT_LE(lengths[s], max_len);
+        kraft += std::pow(2.0, -static_cast<double>(lengths[s]));
+      }
+      if (freqs[s] == 0) {
+        EXPECT_EQ(lengths[s], 0);
+      }
+      if (freqs[s] > 0) {
+        EXPECT_GT(lengths[s], 0);
+      }
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-12);
+  }
+}
+
+TEST(HuffmanLengths, LengthLimitRespectedUnderExtremeSkew) {
+  // Fibonacci-like frequencies force deep trees without a limit.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1;
+  std::uint64_t b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    const auto next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = huffman_code_lengths(freqs, 12);
+  for (const auto len : lengths) EXPECT_LE(len, 12);
+}
+
+TEST(HuffmanRoundTrip, EncodesAndDecodesRandomStreams) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t alphabet = 2 + static_cast<std::size_t>(rng.uniform_int(0, 510));
+    std::vector<std::uint64_t> freqs(alphabet, 0);
+    std::vector<std::uint32_t> message;
+    for (int i = 0; i < 2000; ++i) {
+      // Zipf-ish skew.
+      const auto sym = static_cast<std::uint32_t>(
+          static_cast<std::size_t>(rng.uniform() * rng.uniform() * static_cast<double>(alphabet)) %
+          alphabet);
+      message.push_back(sym);
+      ++freqs[sym];
+    }
+    const auto lengths = huffman_code_lengths(freqs);
+    const HuffmanEncoder encoder(lengths);
+    BitWriter w;
+    for (const auto sym : message) encoder.encode(w, sym);
+    const auto bytes = w.finish();
+
+    const HuffmanDecoder decoder(lengths);
+    BitReader r(bytes);
+    for (const auto expected : message) {
+      EXPECT_EQ(decoder.decode(r), expected);
+    }
+    EXPECT_FALSE(r.overrun());
+  }
+}
+
+TEST(HuffmanRoundTrip, CompressionBeatsFixedWidthOnSkewedData) {
+  std::vector<std::uint64_t> freqs(256, 1);
+  freqs[0] = 100000;
+  const auto lengths = huffman_code_lengths(freqs);
+  const HuffmanEncoder encoder(lengths);
+  BitWriter w;
+  for (int i = 0; i < 10000; ++i) encoder.encode(w, 0);
+  EXPECT_LT(w.bit_count(), 10000u * 8u / 2u);
+}
+
+TEST(HuffmanEncoder, RejectsSymbolWithoutCode) {
+  const auto lengths = huffman_code_lengths({5, 0, 5});
+  const HuffmanEncoder encoder(lengths);
+  BitWriter w;
+  EXPECT_THROW(encoder.encode(w, 1), ContractViolation);
+  EXPECT_THROW(encoder.encode(w, 99), ContractViolation);
+}
+
+TEST(HuffmanDecoder, CorruptStreamReturnsInvalid) {
+  // Codes: symbol 0 -> "0", symbol 1 -> "10" — "11..." is invalid only if
+  // nothing maps there; craft lengths {1,2} leaving code space.
+  const std::vector<std::uint8_t> lengths{1, 2};
+  const HuffmanDecoder decoder(lengths);
+  const std::vector<std::uint8_t> junk{0xff};  // starts with 11
+  BitReader r(junk);
+  EXPECT_EQ(decoder.decode(r), HuffmanDecoder::invalid_symbol());
+}
+
+TEST(CodeLengthSerialisation, RoundTripsSparseTables) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> lengths(512, 0);
+    for (int i = 0; i < 40; ++i) {
+      lengths[static_cast<std::size_t>(rng.uniform_int(0, 511))] =
+          static_cast<std::uint8_t>(rng.uniform_int(1, 20));
+    }
+    BitWriter w;
+    write_code_lengths(w, lengths);
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    EXPECT_EQ(read_code_lengths(r, 512), lengths);
+  }
+}
+
+TEST(CodeLengthSerialisation, AllZeroTableIsCompact) {
+  std::vector<std::uint8_t> lengths(512, 0);
+  BitWriter w;
+  write_code_lengths(w, lengths);
+  const auto bytes = w.finish();
+  EXPECT_LE(bytes.size(), 4u);  // two 9-bit run tokens
+  BitReader r(bytes);
+  EXPECT_EQ(read_code_lengths(r, 512), lengths);
+}
+
+}  // namespace
+}  // namespace sophon::codec

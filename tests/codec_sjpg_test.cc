@@ -1,0 +1,196 @@
+#include "codec/sjpg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/profile.h"
+#include "dataset/synth.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::codec {
+namespace {
+
+image::Image random_image(int w, int h, int channels, std::uint64_t seed) {
+  image::Image img(w, h, channels);
+  Rng rng(seed);
+  for (auto& px : img.data()) px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return img;
+}
+
+image::Image smooth_image(int w, int h) {
+  image::Image img(w, h, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.set(x, y, c, static_cast<std::uint8_t>((x * 2 + y + c * 40) % 256));
+  return img;
+}
+
+double mean_abs_error(const image::Image& a, const image::Image& b) {
+  SOPHON_CHECK(a.width() == b.width() && a.height() == b.height());
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    err += std::abs(static_cast<int>(a.data()[i]) - static_cast<int>(b.data()[i]));
+  return err / static_cast<double>(a.data().size());
+}
+
+TEST(Sjpg, HeaderPeek) {
+  const auto img = smooth_image(37, 21);
+  const auto blob = sjpg_encode(img, 75);
+  const auto hdr = sjpg_peek(blob);
+  ASSERT_TRUE(hdr.has_value());
+  EXPECT_EQ(hdr->width, 37);
+  EXPECT_EQ(hdr->height, 21);
+  EXPECT_EQ(hdr->channels, 3);
+  EXPECT_EQ(hdr->quality, 75);
+}
+
+TEST(Sjpg, PeekRejectsGarbage) {
+  EXPECT_FALSE(sjpg_peek(std::vector<std::uint8_t>{1, 2, 3}).has_value());
+  std::vector<std::uint8_t> junk(64, 0xaa);
+  EXPECT_FALSE(sjpg_peek(junk).has_value());
+}
+
+TEST(Sjpg, GrayscaleRoundTripNearLossless) {
+  const auto img = random_image(64, 48, 1, 11);
+  const auto blob = sjpg_encode(img, 95);  // step 1 → lossless DPCM
+  const auto decoded = sjpg_decode(blob);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, img);  // grayscale at step 1 is exactly lossless
+}
+
+TEST(Sjpg, ColorRoundTripBoundedError) {
+  // Chroma subsampling + colour-space round trip is lossy but bounded.
+  const auto img = smooth_image(96, 64);
+  const auto blob = sjpg_encode(img, 95);
+  const auto decoded = sjpg_decode(blob);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->width(), img.width());
+  EXPECT_EQ(decoded->height(), img.height());
+  EXPECT_LT(mean_abs_error(img, *decoded), 8.0);
+}
+
+TEST(Sjpg, LowerQualityIsSmallerAndWorse) {
+  dataset::SampleMeta meta;
+  meta.id = 3;
+  meta.raw = pipeline::SampleShape::encoded(Bytes(1), 256, 192, 3);
+  meta.texture = 0.4;
+  const auto img = dataset::generate_synthetic_image(meta, 99);
+
+  const auto hi = sjpg_encode(img, 95);
+  const auto lo = sjpg_encode(img, 40);
+  EXPECT_LT(lo.size(), hi.size());
+
+  const auto hi_dec = sjpg_decode(hi);
+  const auto lo_dec = sjpg_decode(lo);
+  ASSERT_TRUE(hi_dec.has_value() && lo_dec.has_value());
+  EXPECT_LE(mean_abs_error(img, *hi_dec), mean_abs_error(img, *lo_dec));
+  // Even at quality 40 the reconstruction must stay recognisable.
+  EXPECT_LT(mean_abs_error(img, *lo_dec), 16.0);
+}
+
+TEST(Sjpg, SmoothCompressesBetterThanNoise) {
+  const auto smooth = smooth_image(128, 128);
+  const auto noisy = random_image(128, 128, 3, 12);
+  const auto smooth_blob = sjpg_encode(smooth, 80);
+  const auto noisy_blob = sjpg_encode(noisy, 80);
+  EXPECT_LT(smooth_blob.size() * 2, noisy_blob.size());
+}
+
+TEST(Sjpg, AdaptivePredictorsKeepSmoothContentCheap) {
+  // Regression floor for the per-row adaptive predictors: smooth synthetic
+  // content at quality 70 must stay near 1 bpp (it was ~1.6 bpp with the
+  // fixed MED predictor).
+  dataset::SampleMeta meta;
+  meta.id = 7;
+  meta.raw = pipeline::SampleShape::encoded(Bytes(1), 512, 384, 3);
+  meta.texture = 0.05;
+  const auto img = dataset::generate_synthetic_image(meta, 1);
+  const auto blob = sjpg_encode(img, 70);
+  const double bpp = static_cast<double>(blob.size()) * 8.0 / (512.0 * 384.0);
+  EXPECT_LT(bpp, 1.2);
+}
+
+TEST(Sjpg, Deterministic) {
+  const auto img = smooth_image(50, 40);
+  EXPECT_EQ(sjpg_encode(img, 80), sjpg_encode(img, 80));
+}
+
+TEST(Sjpg, DecodeRejectsTruncation) {
+  const auto img = smooth_image(64, 64);
+  auto blob = sjpg_encode(img, 80);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(sjpg_decode(blob).has_value());
+}
+
+TEST(Sjpg, DecodeRejectsBitFlipsGracefully) {
+  // Any corruption must yield nullopt or a decoded image — never a crash.
+  const auto img = smooth_image(48, 48);
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto blob = sjpg_encode(img, 70);
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(6, static_cast<std::int64_t>(blob.size()) - 1));
+    blob[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    const auto decoded = sjpg_decode(blob);  // must not throw
+    if (decoded.has_value()) {
+      EXPECT_EQ(decoded->width(), 48);
+      EXPECT_EQ(decoded->height(), 48);
+    }
+  }
+}
+
+TEST(Sjpg, OddDimensionsRoundTrip) {
+  for (const auto& [w, h] : {std::pair{65, 33}, {1, 1}, {3, 7}, {127, 1}}) {
+    const auto img = random_image(w, h, 3, static_cast<std::uint64_t>(w * 1000 + h));
+    const auto blob = sjpg_encode(img, 90);
+    const auto decoded = sjpg_decode(blob);
+    ASSERT_TRUE(decoded.has_value()) << w << "x" << h;
+    EXPECT_EQ(decoded->width(), w);
+    EXPECT_EQ(decoded->height(), h);
+  }
+}
+
+TEST(Sjpg, QuantStepMonotoneInQuality) {
+  int prev = sjpg_quant_step(1);
+  for (int q = 2; q <= 100; ++q) {
+    const int step = sjpg_quant_step(q);
+    EXPECT_LE(step, prev);
+    prev = step;
+  }
+  EXPECT_EQ(sjpg_quant_step(100), 1);
+  EXPECT_THROW((void)sjpg_quant_step(0), ContractViolation);
+  EXPECT_THROW((void)sjpg_quant_step(101), ContractViolation);
+}
+
+TEST(Sjpg, EncodeRejectsBadArguments) {
+  const auto img = smooth_image(8, 8);
+  EXPECT_THROW((void)sjpg_encode(img, 0), ContractViolation);
+  EXPECT_THROW((void)sjpg_encode(image::Image{}, 80), ContractViolation);
+}
+
+// Property sweep: compressed size grows with texture at fixed dimensions —
+// the behaviour the dataset profiles rely on.
+class SjpgTextureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SjpgTextureSweep, SizeGrowsWithTexture) {
+  const int quality = GetParam();
+  std::size_t prev = 0;
+  for (const double texture : {0.05, 0.35, 0.65, 0.95}) {
+    dataset::SampleMeta meta;
+    meta.id = 17;
+    meta.raw = pipeline::SampleShape::encoded(Bytes(1), 160, 120, 3);
+    meta.texture = texture;
+    const auto blob =
+        sjpg_encode(dataset::generate_synthetic_image(meta, 5), quality);
+    EXPECT_GT(blob.size(), prev) << "texture " << texture << " quality " << quality;
+    prev = blob.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, SjpgTextureSweep, ::testing::Values(95, 80, 60, 40));
+
+}  // namespace
+}  // namespace sophon::codec

@@ -1,0 +1,149 @@
+// The §6 selective-compression extension on the REAL byte path: the server
+// re-encodes offloaded image payloads, the client transparently decodes —
+// less traffic, bounded pixel error, never a size increase.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "loader/loader.h"
+#include "net/wire.h"
+#include "storage/dataset_store.h"
+#include "storage/server.h"
+#include "util/check.h"
+
+namespace sophon {
+namespace {
+
+struct Fixture {
+  dataset::DatasetProfile profile = [] {
+    auto p = dataset::openimages_profile(12);
+    p.min_pixels = 1.5e5;
+    p.max_pixels = 6e5;
+    return p;
+  }();
+  dataset::Catalog catalog = dataset::Catalog::generate(profile, 42);
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  storage::DatasetStore store{catalog, 42, profile.quality};
+  storage::StorageServer server{store, pipe, cm, {.seed = 42}};
+};
+
+TEST(CompressionPath, CompressedResponseIsSmaller) {
+  Fixture f;
+  net::FetchRequest plain;
+  plain.sample_id = 0;
+  plain.directive.prefix_len = 2;
+  const auto plain_resp = f.server.fetch(plain);
+  EXPECT_FALSE(plain_resp.payload_compressed);
+
+  auto compressed = plain;
+  compressed.directive.compress_quality = 80;
+  const auto comp_resp = f.server.fetch(compressed);
+  EXPECT_TRUE(comp_resp.payload_compressed);
+  EXPECT_LT(comp_resp.wire_bytes(), plain_resp.wire_bytes());
+}
+
+TEST(CompressionPath, ClientDecodesToBoundedError) {
+  Fixture f;
+  net::FetchRequest plain;
+  plain.sample_id = 1;
+  plain.epoch = 3;
+  plain.directive.prefix_len = 2;
+  const auto plain_resp = f.server.fetch(plain);
+  const auto plain_img =
+      std::get<image::Image>(*net::unpack_response(plain_resp));
+
+  auto compressed = plain;
+  compressed.directive.compress_quality = 85;
+  const auto comp_resp = f.server.fetch(compressed);
+  const auto unpacked = net::unpack_response(comp_resp);
+  ASSERT_TRUE(unpacked.has_value());
+  const auto& comp_img = std::get<image::Image>(*unpacked);
+
+  ASSERT_EQ(comp_img.width(), plain_img.width());
+  ASSERT_EQ(comp_img.height(), plain_img.height());
+  double err = 0.0;
+  for (std::size_t i = 0; i < plain_img.data().size(); ++i) {
+    err += std::abs(static_cast<int>(plain_img.data()[i]) -
+                    static_cast<int>(comp_img.data()[i]));
+  }
+  EXPECT_LT(err / static_cast<double>(plain_img.data().size()), 10.0);
+}
+
+TEST(CompressionPath, RawPayloadsAreLeftAlone) {
+  // Compression only applies to image payloads; a raw (already compressed)
+  // fetch must pass through untouched even with the flag set.
+  Fixture f;
+  net::FetchRequest req;
+  req.sample_id = 2;
+  req.directive.prefix_len = 0;
+  req.directive.compress_quality = 80;
+  const auto resp = f.server.fetch(req);
+  EXPECT_FALSE(resp.payload_compressed);
+  const auto payload = net::unpack_response(resp);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(std::holds_alternative<pipeline::EncodedBlob>(*payload));
+}
+
+TEST(CompressionPath, TensorPayloadsAreLeftAlone) {
+  Fixture f;
+  net::FetchRequest req;
+  req.sample_id = 2;
+  req.directive.prefix_len = 5;  // fully preprocessed → tensor
+  req.directive.compress_quality = 80;
+  const auto resp = f.server.fetch(req);
+  EXPECT_FALSE(resp.payload_compressed);
+}
+
+TEST(CompressionPath, RejectsInvalidQuality) {
+  Fixture f;
+  net::FetchRequest req;
+  req.sample_id = 0;
+  req.directive.prefix_len = 2;
+  req.directive.compress_quality = 101;
+  EXPECT_THROW((void)f.server.fetch(req), ContractViolation);
+}
+
+TEST(CompressionPath, LoaderEndToEndWithCompression) {
+  Fixture f;
+  core::OffloadPlan plan(f.catalog.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) plan.set(i, 2);
+
+  loader::DataLoader plain(f.server, f.pipe, plan, f.catalog.size(),
+                           {.num_workers = 2, .queue_capacity = 8, .seed = 42, .epoch = 0});
+  plain.start();
+  std::size_t n_plain = 0;
+  while (plain.next()) ++n_plain;
+
+  loader::DataLoader compressed(f.server, f.pipe, plan, f.catalog.size(),
+                                {.num_workers = 2,
+                                 .queue_capacity = 8,
+                                 .seed = 42,
+                                 .epoch = 0,
+                                 .compress_quality = 80});
+  compressed.start();
+  std::size_t n_comp = 0;
+  while (const auto item = compressed.next()) {
+    EXPECT_EQ(item->tensor.width(), 224);
+    ++n_comp;
+  }
+  EXPECT_EQ(n_plain, f.catalog.size());
+  EXPECT_EQ(n_comp, f.catalog.size());
+  EXPECT_LT(compressed.traffic(), plain.traffic());
+}
+
+TEST(CompressionPath, UnpackRejectsLyingFlag) {
+  // A response claiming compression but carrying a non-blob payload is
+  // malformed and must be rejected, not misinterpreted.
+  net::FetchResponse bogus;
+  bogus.payload_compressed = true;
+  bogus.payload = net::serialize_sample(pipeline::SampleData(image::Image(4, 4, 3)));
+  EXPECT_FALSE(net::unpack_response(bogus).has_value());
+  // And a compressed flag over garbage bytes fails cleanly too.
+  bogus.payload = net::serialize_sample(
+      pipeline::SampleData(pipeline::EncodedBlob{{1, 2, 3, 4}}));
+  EXPECT_FALSE(net::unpack_response(bogus).has_value());
+}
+
+}  // namespace
+}  // namespace sophon

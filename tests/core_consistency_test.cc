@@ -1,0 +1,80 @@
+// Cross-validation of the two evaluation paths: the decision engine's
+// analytic cost vector (max of T_G/T_CC/T_CS/T_Net) must predict the
+// discrete-event simulator's epoch time closely across regimes — it is the
+// quantity SOPHON optimises, so a drift here would mean the engine
+// optimises the wrong thing.
+#include <gtest/gtest.h>
+
+#include "core/decision.h"
+#include "core/profiler.h"
+#include "sim/trainer.h"
+
+namespace sophon::core {
+namespace {
+
+struct Fixture {
+  dataset::Catalog catalog = dataset::Catalog::generate(dataset::openimages_profile(6000), 42);
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  std::vector<SampleProfile> profiles = profile_stage2(catalog, pipe, cm);
+
+  void expect_consistent(const sim::ClusterConfig& cluster, Seconds batch_time,
+                         const OffloadPlan& plan, double tolerance) {
+    const auto batches = (catalog.size() + cluster.batch_size - 1) / cluster.batch_size;
+    const Seconds t_g = batch_time * static_cast<double>(batches);
+    const auto predicted = evaluate_plan(profiles, plan, cluster, t_g).predicted_epoch_time();
+    const auto simulated = sim::simulate_epoch(catalog, pipe, cm, cluster, batch_time,
+                                               plan.assignment(), 42, 0);
+    EXPECT_NEAR(simulated.epoch_time.value(), predicted.value(),
+                tolerance * predicted.value())
+        << "bw=" << cluster.bandwidth.bps() << " cores=" << cluster.storage_cores;
+  }
+};
+
+TEST(AnalyticVsSimulator, NetworkBoundNoOffload) {
+  Fixture f;
+  sim::ClusterConfig cluster;
+  cluster.bandwidth = Bandwidth::mbps(100.0);
+  f.expect_consistent(cluster, Seconds::millis(85.0), OffloadPlan(f.catalog.size()), 0.05);
+}
+
+TEST(AnalyticVsSimulator, NetworkBoundWithSophonPlan) {
+  Fixture f;
+  for (const int cores : {1, 2, 8, 48}) {
+    sim::ClusterConfig cluster;
+    cluster.bandwidth = Bandwidth::mbps(100.0);
+    cluster.storage_cores = cores;
+    const auto batches = (f.catalog.size() + cluster.batch_size - 1) / cluster.batch_size;
+    const Seconds t_g = Seconds::millis(85.0) * static_cast<double>(batches);
+    const auto decision = decide_offloading(f.profiles, cluster, t_g);
+    f.expect_consistent(cluster, Seconds::millis(85.0), decision.plan, 0.06);
+  }
+}
+
+TEST(AnalyticVsSimulator, GpuBoundRegime) {
+  Fixture f;
+  sim::ClusterConfig cluster;
+  cluster.bandwidth = Bandwidth::gbps(20.0);
+  f.expect_consistent(cluster, Seconds(0.5), OffloadPlan(f.catalog.size()), 0.06);
+}
+
+TEST(AnalyticVsSimulator, CpuBoundRegime) {
+  Fixture f;
+  sim::ClusterConfig cluster;
+  cluster.bandwidth = Bandwidth::gbps(20.0);
+  cluster.compute_cores = 1;
+  f.expect_consistent(cluster, Seconds::millis(20.0), OffloadPlan(f.catalog.size()), 0.08);
+}
+
+TEST(AnalyticVsSimulator, StorageCpuBoundRegime) {
+  // Resize-Off with one storage core: T_CS dominates by a wide margin.
+  Fixture f;
+  sim::ClusterConfig cluster;
+  cluster.bandwidth = Bandwidth::mbps(500.0);
+  cluster.storage_cores = 1;
+  f.expect_consistent(cluster, Seconds::millis(85.0),
+                      OffloadPlan::uniform(f.catalog.size(), 2), 0.06);
+}
+
+}  // namespace
+}  // namespace sophon::core

@@ -1,0 +1,72 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::core {
+namespace {
+
+TEST(ThroughputProfile, BottleneckIsTheSlowestResource) {
+  ThroughputProfile p{100.0, 50.0, 200.0};
+  EXPECT_EQ(p.bottleneck(), Bottleneck::kIo);
+  EXPECT_TRUE(p.io_bound());
+
+  p = {40.0, 50.0, 200.0};
+  EXPECT_EQ(p.bottleneck(), Bottleneck::kGpu);
+  EXPECT_FALSE(p.io_bound());
+
+  p = {100.0, 90.0, 60.0};
+  EXPECT_EQ(p.bottleneck(), Bottleneck::kCpu);
+}
+
+TEST(ThroughputProfile, TieBreaksTowardGpu) {
+  const ThroughputProfile p{50.0, 50.0, 50.0};
+  EXPECT_EQ(p.bottleneck(), Bottleneck::kGpu);
+}
+
+TEST(ThroughputProfile, RejectsNonPositive) {
+  const ThroughputProfile p{0.0, 1.0, 1.0};
+  EXPECT_THROW((void)p.bottleneck(), ContractViolation);
+}
+
+TEST(BottleneckName, AllNamed) {
+  EXPECT_EQ(bottleneck_name(Bottleneck::kGpu), "GPU");
+  EXPECT_EQ(bottleneck_name(Bottleneck::kIo), "IO");
+  EXPECT_EQ(bottleneck_name(Bottleneck::kCpu), "CPU");
+}
+
+TEST(SampleProfile, EfficiencyDefinition) {
+  SampleProfile p;
+  p.min_stage = 2;
+  p.reduction = Bytes(100'000);
+  p.prefix_time = Seconds(0.01);
+  EXPECT_DOUBLE_EQ(p.efficiency(), 1e7);
+  EXPECT_TRUE(p.benefits());
+}
+
+TEST(SampleProfile, NoBenefitMeansZeroEfficiency) {
+  SampleProfile p;
+  p.min_stage = 0;
+  p.reduction = Bytes(0);
+  p.prefix_time = Seconds(0.0);
+  EXPECT_DOUBLE_EQ(p.efficiency(), 0.0);
+  EXPECT_FALSE(p.benefits());
+}
+
+TEST(EpochCostVector, PredominantAndNetBound) {
+  EpochCostVector v{Seconds(10.0), Seconds(20.0), Seconds(5.0), Seconds(100.0)};
+  EXPECT_DOUBLE_EQ(v.predominant().value(), 100.0);
+  EXPECT_TRUE(v.net_predominant());
+  EXPECT_DOUBLE_EQ(v.predicted_epoch_time().value(), 100.0);
+
+  v.t_cs = Seconds(100.0);  // tie is NOT predominant (strict)
+  EXPECT_FALSE(v.net_predominant());
+
+  v.t_cs = Seconds(150.0);
+  EXPECT_FALSE(v.net_predominant());
+  EXPECT_DOUBLE_EQ(v.predominant().value(), 150.0);
+}
+
+}  // namespace
+}  // namespace sophon::core

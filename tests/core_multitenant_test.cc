@@ -1,0 +1,133 @@
+#include "core/multitenant.h"
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+#include "dataset/catalog.h"
+#include "pipeline/pipeline.h"
+#include "util/check.h"
+
+namespace sophon::core {
+namespace {
+
+TenantJob make_job(const std::string& name, std::size_t samples, double bandwidth_mbps,
+                   Seconds t_g, std::uint64_t seed) {
+  const auto catalog = dataset::Catalog::generate(dataset::openimages_profile(samples), seed);
+  const pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  TenantJob job;
+  job.name = name;
+  job.profiles = profile_stage2(catalog, pipe, cm);
+  job.gpu_epoch_time = t_g;
+  job.cluster.bandwidth = Bandwidth::mbps(bandwidth_mbps);
+  return job;
+}
+
+struct Fixture {
+  // Two unequal jobs: a heavy one on a slow link and a lighter one.
+  std::vector<TenantJob> jobs = {
+      make_job("heavy", 3000, 80.0, Seconds(2.0), 1),
+      make_job("light", 1000, 200.0, Seconds(1.0), 2),
+  };
+};
+
+TEST(PredictJobEpoch, MoreCoresNeverSlower) {
+  Fixture f;
+  Seconds prev = predict_job_epoch(f.jobs[0], 0);
+  for (int cores = 1; cores <= 8; ++cores) {
+    const Seconds t = predict_job_epoch(f.jobs[0], cores);
+    EXPECT_LE(t.value(), prev.value() + 1e-9) << cores;
+    prev = t;
+  }
+}
+
+TEST(PredictJobEpoch, ZeroCoresEqualsNoOffloadBaseline) {
+  Fixture f;
+  const auto t0 = predict_job_epoch(f.jobs[0], 0);
+  const auto baseline =
+      decide_offloading(f.jobs[0].profiles,
+                        [&] {
+                          auto c = f.jobs[0].cluster;
+                          c.storage_cores = 0;
+                          return c;
+                        }(),
+                        f.jobs[0].gpu_epoch_time)
+          .baseline.predicted_epoch_time();
+  EXPECT_NEAR(t0.value(), baseline.value(), 1e-9);
+}
+
+TEST(Allocate, UsesAtMostTheBudget) {
+  Fixture f;
+  const auto alloc = allocate_storage_cores(f.jobs, 8, SchedulerObjective::kMinimizeTotal);
+  int used = 0;
+  for (const auto c : alloc.cores) used += c;
+  EXPECT_LE(used, 8);
+  ASSERT_EQ(alloc.cores.size(), 2u);
+  ASSERT_EQ(alloc.predicted_epoch.size(), 2u);
+}
+
+TEST(Allocate, TotalsAreConsistent) {
+  Fixture f;
+  const auto alloc = allocate_storage_cores(f.jobs, 6, SchedulerObjective::kMinimizeTotal);
+  Seconds total;
+  Seconds max_t;
+  for (const auto t : alloc.predicted_epoch) {
+    total += t;
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_NEAR(alloc.total_epoch.value(), total.value(), 1e-9);
+  EXPECT_NEAR(alloc.max_epoch.value(), max_t.value(), 1e-9);
+}
+
+TEST(Allocate, GreedyNoWorseThanEqualSplit) {
+  Fixture f;
+  for (const int budget : {2, 4, 8, 16}) {
+    const auto greedy =
+        allocate_storage_cores(f.jobs, budget, SchedulerObjective::kMinimizeTotal);
+    const auto equal = equal_split(f.jobs, budget);
+    EXPECT_LE(greedy.total_epoch.value(), equal.total_epoch.value() + 1e-9) << budget;
+
+    const auto greedy_mk =
+        allocate_storage_cores(f.jobs, budget, SchedulerObjective::kMinimizeMakespan);
+    EXPECT_LE(greedy_mk.max_epoch.value(), equal.max_epoch.value() + 1e-9) << budget;
+  }
+}
+
+TEST(Allocate, StopsWhenNoJobBenefits) {
+  Fixture f;
+  const auto alloc = allocate_storage_cores(f.jobs, 1000, SchedulerObjective::kMinimizeTotal);
+  int used = 0;
+  for (const auto c : alloc.cores) used += c;
+  EXPECT_LT(used, 1000);  // saturates long before the budget
+}
+
+TEST(Allocate, ZeroBudget) {
+  Fixture f;
+  const auto alloc = allocate_storage_cores(f.jobs, 0, SchedulerObjective::kMinimizeTotal);
+  EXPECT_EQ(alloc.cores[0], 0);
+  EXPECT_EQ(alloc.cores[1], 0);
+}
+
+TEST(Allocate, SingleJobGetsEverythingUseful) {
+  Fixture f;
+  std::vector<TenantJob> one{f.jobs[0]};
+  const auto alloc = allocate_storage_cores(one, 4, SchedulerObjective::kMinimizeTotal);
+  EXPECT_GT(alloc.cores[0], 0);
+  EXPECT_NEAR(alloc.predicted_epoch[0].value(), predict_job_epoch(one[0], alloc.cores[0]).value(),
+              1e-9);
+}
+
+TEST(EqualSplit, DistributesRemainder) {
+  Fixture f;
+  const auto alloc = equal_split(f.jobs, 5);
+  EXPECT_EQ(alloc.cores[0] + alloc.cores[1], 5);
+  EXPECT_EQ(std::abs(alloc.cores[0] - alloc.cores[1]), 1);
+}
+
+TEST(Allocate, RejectsEmptyJobs) {
+  EXPECT_THROW((void)allocate_storage_cores({}, 4, SchedulerObjective::kMinimizeTotal),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::core

@@ -1,0 +1,139 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/sampler.h"
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace sophon::core {
+namespace {
+
+struct Fixture {
+  dataset::Catalog catalog = dataset::Catalog::generate(dataset::openimages_profile(5000), 42);
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  sim::ClusterConfig cluster;
+};
+
+TEST(Stage1, ClassifiesIoBoundUnderConstrainedLink) {
+  Fixture f;
+  f.cluster.bandwidth = Bandwidth::mbps(500.0);
+  // AlexNet-class GPU: fast batches.
+  const auto profile = profile_stage1(f.catalog, f.pipe, f.cm, f.cluster, Seconds::millis(85.0));
+  EXPECT_TRUE(profile.io_bound());
+  EXPECT_GT(profile.gpu_samples_per_sec, profile.io_samples_per_sec);
+  EXPECT_GT(profile.cpu_samples_per_sec, profile.io_samples_per_sec);
+}
+
+TEST(Stage1, ClassifiesGpuBoundUnderFastLink) {
+  Fixture f;
+  f.cluster.bandwidth = Bandwidth::gbps(100.0);
+  // ResNet50-class GPU: slow batches.
+  const auto profile = profile_stage1(f.catalog, f.pipe, f.cm, f.cluster, Seconds(0.75));
+  EXPECT_EQ(profile.bottleneck(), Bottleneck::kGpu);
+}
+
+TEST(Stage1, ClassifiesCpuBoundWithFewCores) {
+  Fixture f;
+  f.cluster.bandwidth = Bandwidth::gbps(100.0);
+  f.cluster.compute_cores = 1;
+  const auto profile = profile_stage1(f.catalog, f.pipe, f.cm, f.cluster, Seconds::millis(20.0));
+  EXPECT_EQ(profile.bottleneck(), Bottleneck::kCpu);
+}
+
+TEST(Stage1, IoThroughputMatchesHandComputation) {
+  Fixture f;
+  Stage1Options opts;
+  opts.num_batches = 2;
+  f.cluster.batch_size = 16;
+  const auto profile =
+      profile_stage1(f.catalog, f.pipe, f.cm, f.cluster, Seconds::millis(50.0), opts);
+  // 32 probe samples; recompute by hand over the same shuffled order.
+  const dataset::EpochOrder order(f.catalog.size(), opts.seed, 0);
+  Bytes bytes;
+  for (std::size_t pos = 0; pos < 32; ++pos)
+    bytes += net::wire_size(f.catalog.sample(order.at(pos)).raw);
+  const double expected = 32.0 / (bytes.as_double() / f.cluster.bandwidth.bytes_per_sec());
+  EXPECT_NEAR(profile.io_samples_per_sec, expected, 1e-9);
+}
+
+TEST(Stage1, ProbeIsCappedAtDatasetSize) {
+  Fixture f;
+  Stage1Options opts;
+  opts.num_batches = 1000000;  // would exceed the dataset
+  EXPECT_NO_THROW(
+      (void)profile_stage1(f.catalog, f.pipe, f.cm, f.cluster, Seconds::millis(50.0), opts));
+}
+
+TEST(Stage2, OneProfilePerSampleInCatalogOrder) {
+  Fixture f;
+  const auto profiles = profile_stage2(f.catalog, f.pipe, f.cm);
+  ASSERT_EQ(profiles.size(), f.catalog.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(profiles[i].sample_index, i);
+    ASSERT_EQ(profiles[i].stage_sizes.size(), 6u);
+    ASSERT_EQ(profiles[i].op_costs.size(), 5u);
+  }
+}
+
+TEST(Stage2, StageSizesMatchPipelineShapes) {
+  Fixture f;
+  const auto profiles = profile_stage2(f.catalog, f.pipe, f.cm);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& meta = f.catalog.sample(i);
+    for (std::size_t s = 0; s <= 5; ++s) {
+      EXPECT_EQ(profiles[i].stage_sizes[s], net::wire_size(f.pipe.shape_at(meta.raw, s)));
+    }
+  }
+}
+
+TEST(Stage2, MinStageAndReductionConsistent) {
+  Fixture f;
+  const auto profiles = profile_stage2(f.catalog, f.pipe, f.cm);
+  for (const auto& p : profiles) {
+    // min_stage is the argmin of stage_sizes (earliest).
+    for (std::size_t s = 0; s < p.stage_sizes.size(); ++s) {
+      EXPECT_LE(p.stage_sizes[p.min_stage], p.stage_sizes[s]);
+    }
+    EXPECT_EQ(p.reduction, p.stage_sizes[0] - p.stage_sizes[p.min_stage]);
+    if (p.min_stage == 0) {
+      EXPECT_EQ(p.reduction.count(), 0);
+      EXPECT_DOUBLE_EQ(p.efficiency(), 0.0);
+    } else {
+      EXPECT_GT(p.efficiency(), 0.0);
+    }
+    // Prefix time is the sum of the first min_stage op costs.
+    Seconds prefix;
+    for (std::size_t s = 0; s < p.min_stage; ++s) prefix += p.op_costs[s];
+    EXPECT_DOUBLE_EQ(p.prefix_time.value(), prefix.value());
+  }
+}
+
+TEST(Stage2, BeneficialFractionMatchesCatalog) {
+  // Stage-2's notion of "benefits" must agree with the catalog-level
+  // threshold check used by the Fig 1b analysis.
+  Fixture f;
+  const auto profiles = profile_stage2(f.catalog, f.pipe, f.cm);
+  std::size_t benefits = 0;
+  for (const auto& p : profiles)
+    if (p.benefits()) ++benefits;
+  const double frac = static_cast<double>(benefits) / static_cast<double>(profiles.size());
+  pipeline::SampleShape crop;
+  crop.repr = pipeline::Repr::kImage;
+  crop.width = 224;
+  crop.height = 224;
+  crop.channels = 3;
+  EXPECT_NEAR(frac, f.catalog.fraction_larger_than(net::wire_size(crop)), 1e-9);
+}
+
+TEST(Stage2, MinStageIsCropForLargeSamples) {
+  Fixture f;
+  const auto profiles = profile_stage2(f.catalog, f.pipe, f.cm);
+  for (const auto& p : profiles) {
+    EXPECT_TRUE(p.min_stage == 0 || p.min_stage == 2) << p.min_stage;
+  }
+}
+
+}  // namespace
+}  // namespace sophon::core

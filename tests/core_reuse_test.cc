@@ -1,0 +1,101 @@
+#include "core/reuse.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/sjpg.h"
+#include "core/decision.h"
+#include "core/profiler.h"
+#include "dataset/synth.h"
+#include "util/check.h"
+
+namespace sophon::core {
+namespace {
+
+struct Fixture {
+  dataset::Catalog catalog = dataset::Catalog::generate(dataset::openimages_profile(2000), 42);
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  sim::ClusterConfig cluster = [] {
+    sim::ClusterConfig c;
+    c.bandwidth = Bandwidth::mbps(100.0);
+    return c;
+  }();
+  Seconds batch_time = Seconds::millis(85.0);
+};
+
+TEST(PreprocessOnce, SteadyEpochHasNoStorageCpu) {
+  Fixture f;
+  const auto eval = evaluate_preprocess_once(f.catalog, f.pipe, f.cm, f.cluster, f.batch_time,
+                                             10, 42);
+  EXPECT_GT(eval.first_epoch.storage_cpu_busy.value(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.steady_epoch.storage_cpu_busy.value(), 0.0);
+  EXPECT_LE(eval.steady_epoch.epoch_time.value(), eval.first_epoch.epoch_time.value() + 1e-9);
+}
+
+TEST(PreprocessOnce, SteadyTrafficAtMostSophons) {
+  // Reuse ships every sample at (at most) its min size without spending
+  // recurring CPU — its steady-state traffic lower-bounds SOPHON's.
+  Fixture f;
+  const auto eval = evaluate_preprocess_once(f.catalog, f.pipe, f.cm, f.cluster, f.batch_time,
+                                             10, 42);
+  const auto profiles = profile_stage2(f.catalog, f.pipe, f.cm);
+  const auto decision = decide_offloading(profiles, f.cluster, Seconds(0.7));
+  const auto sophon = sim::simulate_epoch(f.catalog, f.pipe, f.cm, f.cluster, f.batch_time,
+                                          decision.plan.assignment(), 42, 1);
+  EXPECT_LE(eval.steady_epoch.traffic.as_double(), sophon.traffic.as_double() * 1.05);
+}
+
+TEST(PreprocessOnce, StoredFootprintCountsOnlyArtifacts) {
+  Fixture f;
+  const auto eval = evaluate_preprocess_once(f.catalog, f.pipe, f.cm, f.cluster, f.batch_time,
+                                             5, 42);
+  // Artifacts are 224x224x3 images for exactly the samples whose minimum is
+  // past the crop; raw-minimal samples add nothing.
+  std::size_t artifacts = 0;
+  for (const auto& meta : f.catalog.samples()) {
+    if (f.pipe.min_size_stage(meta.raw) > 0) ++artifacts;
+  }
+  EXPECT_GT(artifacts, 0u);
+  EXPECT_LT(artifacts, f.catalog.size());
+  EXPECT_EQ(eval.stored_footprint,
+            Bytes(static_cast<std::int64_t>(artifacts) * 224 * 224 * 3));
+  // Diversity sits between 1 (all frozen) and the epoch count (all fresh).
+  EXPECT_GT(eval.variants_per_sample, 1.0);
+  EXPECT_LT(eval.variants_per_sample, 5.0);
+}
+
+TEST(PreprocessOnce, RequiresStorageCores) {
+  Fixture f;
+  f.cluster.storage_cores = 0;
+  EXPECT_THROW((void)evaluate_preprocess_once(f.catalog, f.pipe, f.cm, f.cluster, f.batch_time,
+                                              5, 42),
+               ContractViolation);
+}
+
+TEST(VariantCounting, OnlineProducesFreshAugmentationsEveryEpoch) {
+  dataset::SampleMeta meta;
+  meta.id = 5;
+  meta.raw = pipeline::SampleShape::encoded(Bytes(1), 320, 240, 3);
+  meta.texture = 0.4;
+  const pipeline::SampleData raw =
+      pipeline::EncodedBlob{dataset::materialize_encoded(meta, 9, 70)};
+  const auto pipe = pipeline::Pipeline::standard();
+
+  constexpr std::size_t kEpochs = 12;
+  EXPECT_EQ(count_distinct_variants(pipe, raw, kEpochs, 42, meta.id, /*reuse=*/false), kEpochs);
+}
+
+TEST(VariantCounting, ReuseCollapsesToOneVariant) {
+  dataset::SampleMeta meta;
+  meta.id = 6;
+  meta.raw = pipeline::SampleShape::encoded(Bytes(1), 320, 240, 3);
+  meta.texture = 0.4;
+  const pipeline::SampleData raw =
+      pipeline::EncodedBlob{dataset::materialize_encoded(meta, 9, 70)};
+  const auto pipe = pipeline::Pipeline::standard();
+
+  EXPECT_EQ(count_distinct_variants(pipe, raw, 12, 42, meta.id, /*reuse=*/true), 1u);
+}
+
+}  // namespace
+}  // namespace sophon::core

@@ -1,0 +1,120 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/decision.h"
+#include "core/profiler.h"
+#include "dataset/catalog.h"
+#include "pipeline/pipeline.h"
+
+namespace sophon::core {
+namespace {
+
+std::vector<SampleProfile> make_profiles(std::size_t n = 500) {
+  const auto catalog = dataset::Catalog::generate(dataset::openimages_profile(n), 42);
+  return profile_stage2(catalog, pipeline::Pipeline::standard(), pipeline::CostModel{});
+}
+
+TEST(SerializeProfiles, RoundTripIsLossless) {
+  const auto profiles = make_profiles();
+  const auto json = profiles_to_json(profiles);
+  const auto parsed = Json::parse(json.dump());
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = profiles_from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ((*back)[i].sample_index, profiles[i].sample_index);
+    EXPECT_EQ((*back)[i].stage_sizes, profiles[i].stage_sizes);
+    EXPECT_EQ((*back)[i].min_stage, profiles[i].min_stage);
+    EXPECT_EQ((*back)[i].reduction, profiles[i].reduction);
+    ASSERT_EQ((*back)[i].op_costs.size(), profiles[i].op_costs.size());
+    for (std::size_t c = 0; c < profiles[i].op_costs.size(); ++c) {
+      EXPECT_DOUBLE_EQ((*back)[i].op_costs[c].value(), profiles[i].op_costs[c].value());
+    }
+    EXPECT_DOUBLE_EQ((*back)[i].efficiency(), profiles[i].efficiency());
+  }
+}
+
+TEST(SerializeProfiles, RejectsWrongKindOrVersion) {
+  auto json = profiles_to_json(make_profiles(10));
+  json.set("kind", "something-else");
+  EXPECT_FALSE(profiles_from_json(json).has_value());
+  auto json2 = profiles_to_json(make_profiles(10));
+  json2.set("version", 99);
+  EXPECT_FALSE(profiles_from_json(json2).has_value());
+  EXPECT_FALSE(profiles_from_json(Json(3)).has_value());
+}
+
+TEST(SerializePlan, RoundTripIsLossless) {
+  OffloadPlan plan(1000);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    plan.set(i, static_cast<std::uint8_t>(i % 7 == 0 ? 2 : (i % 13 == 0 ? 5 : 0)));
+  }
+  const auto json = plan_to_json(plan);
+  const auto back = plan_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(back->prefix(i), plan.prefix(i));
+  }
+}
+
+TEST(SerializePlan, RunLengthIsCompact) {
+  // A uniform plan must serialise to a single run regardless of size.
+  const auto plan = OffloadPlan::uniform(100000, 2);
+  const auto json = plan_to_json(plan);
+  EXPECT_EQ(json.at("runs").size(), 1u);
+  EXPECT_LT(json.dump().size(), 200u);
+}
+
+TEST(SerializePlan, RejectsCorruptRuns) {
+  const auto plan = OffloadPlan::uniform(10, 1);
+  auto json = plan_to_json(plan);
+  json.set("num_samples", 5);  // runs now overflow
+  EXPECT_FALSE(plan_from_json(json).has_value());
+  auto json2 = plan_to_json(plan);
+  json2.set("num_samples", 20);  // runs now underflow
+  EXPECT_FALSE(plan_from_json(json2).has_value());
+}
+
+TEST(SerializeFiles, SaveAndLoad) {
+  const std::string path = "/tmp/sophon_serialize_test.json";
+  const auto plan = OffloadPlan::uniform(64, 2);
+  ASSERT_TRUE(save_json_file(plan_to_json(plan), path));
+  const auto loaded = load_json_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  const auto back = plan_from_json(*loaded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->offloaded_count(), 64u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeFiles, LoadMissingFileFails) {
+  EXPECT_FALSE(load_json_file("/tmp/definitely_not_here_sophon.json").has_value());
+}
+
+TEST(SerializeEndToEnd, SavedProfilesDriveTheSameDecision) {
+  // The point of persistence: a restart loads yesterday's stage-2 profiles
+  // and reaches the identical plan.
+  const auto profiles = make_profiles(2000);
+  sim::ClusterConfig cluster;
+  cluster.bandwidth = Bandwidth::mbps(100.0);
+  const auto original = decide_offloading(profiles, cluster, Seconds(1.0));
+
+  const std::string path = "/tmp/sophon_profiles_roundtrip.json";
+  ASSERT_TRUE(save_json_file(profiles_to_json(profiles), path));
+  const auto restored = profiles_from_json(*load_json_file(path));
+  ASSERT_TRUE(restored.has_value());
+  const auto replayed = decide_offloading(*restored, cluster, Seconds(1.0));
+  EXPECT_EQ(replayed.offloaded, original.offloaded);
+  for (std::size_t i = 0; i < original.plan.size(); ++i) {
+    EXPECT_EQ(replayed.plan.prefix(i), original.plan.prefix(i));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sophon::core

@@ -1,0 +1,85 @@
+#include "dataset/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::dataset {
+namespace {
+
+std::vector<SampleMeta> calibration_corpus() {
+  std::vector<SampleMeta> samples;
+  // A spread of sizes and textures so every fit sees real variation.
+  const int dims[][2] = {{320, 240}, {640, 480}, {512, 384}, {800, 600}, {400, 300}};
+  int i = 0;
+  for (const auto& [w, h] : dims) {
+    SampleMeta meta;
+    meta.id = static_cast<std::uint64_t>(i);
+    meta.raw = pipeline::SampleShape::encoded(Bytes(1), w, h, 3);
+    meta.texture = 0.15 + 0.18 * i;
+    samples.push_back(meta);
+    ++i;
+  }
+  return samples;
+}
+
+TEST(Calibrate, ProducesPositiveCoefficients) {
+  const auto samples = calibration_corpus();
+  CalibrationOptions options;
+  options.repeats = 1;  // keep CI time low; min-of-1 is still a sample
+  const auto result = calibrate_cost_model(samples, options);
+
+  const auto& c = result.coefficients;
+  EXPECT_GT(c.decode_ns_per_byte, 0.0);
+  EXPECT_GT(c.decode_ns_per_pixel, 0.0);
+  EXPECT_GT(c.crop_ns_per_src_pixel, 0.0);
+  EXPECT_GT(c.resize_ns_per_out_pixel, 0.0);
+  EXPECT_GT(c.flip_ns_per_pixel, 0.0);
+  EXPECT_GT(c.to_tensor_ns_per_element, 0.0);
+  EXPECT_GT(c.normalize_ns_per_element, 0.0);
+  EXPECT_DOUBLE_EQ(c.per_op_overhead_ns, 0.0);
+}
+
+TEST(Calibrate, RecordsOneObservationPerOpPerSample) {
+  const auto samples = calibration_corpus();
+  CalibrationOptions options;
+  options.repeats = 1;
+  const auto result = calibrate_cost_model(samples, options);
+  EXPECT_EQ(result.observations.size(), samples.size() * 5);
+  for (const auto& obs : result.observations) {
+    EXPECT_GT(obs.measured.value(), 0.0);
+    EXPECT_GT(obs.predicted.value(), 0.0);
+  }
+}
+
+TEST(Calibrate, FittedModelExplainsItsOwnMeasurements) {
+  // Wall-clock noise makes tight bounds flaky; the fitted model must simply
+  // be in the right ballpark on the data it was fitted to.
+  const auto samples = calibration_corpus();
+  CalibrationOptions options;
+  options.repeats = 2;
+  const auto result = calibrate_cost_model(samples, options);
+  EXPECT_LT(result.median_relative_error(), 1.5);
+}
+
+TEST(Calibrate, CalibratedModelDrivesTheDecisionEngine) {
+  // End-to-end: the fitted coefficients plug straight into a CostModel.
+  const auto samples = calibration_corpus();
+  CalibrationOptions options;
+  options.repeats = 1;
+  const auto result = calibrate_cost_model(samples, options);
+  const pipeline::CostModel model(result.coefficients);
+  const auto shape = pipeline::SampleShape::encoded(Bytes(300'000), 1024, 768);
+  EXPECT_GT(model.decode_cost(shape).value(), 0.0);
+  const auto pipe = pipeline::Pipeline::standard();
+  EXPECT_GT(pipe.prefix_cost(shape, 2, model).value(), 0.0);
+}
+
+TEST(Calibrate, RejectsTooFewSamples) {
+  std::vector<SampleMeta> one(1);
+  one[0].raw = pipeline::SampleShape::encoded(Bytes(1), 64, 64, 3);
+  EXPECT_THROW((void)calibrate_cost_model(one), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::dataset

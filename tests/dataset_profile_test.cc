@@ -1,0 +1,109 @@
+#include "dataset/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/catalog.h"
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace sophon::dataset {
+namespace {
+
+// The post-crop wire size that separates "benefits from offloading" from
+// "already small" — 224*224*3 payload plus framing.
+Bytes crop_wire() {
+  pipeline::SampleShape s;
+  s.repr = pipeline::Repr::kImage;
+  s.width = 224;
+  s.height = 224;
+  s.channels = 3;
+  return net::wire_size(s);
+}
+
+TEST(Profile, DrawIsDeterministic) {
+  const auto profile = openimages_profile(100);
+  const auto a = draw_sample(profile, 42, 7);
+  const auto b = draw_sample(profile, 42, 7);
+  EXPECT_EQ(a.raw, b.raw);
+  EXPECT_EQ(a.texture, b.texture);
+  const auto c = draw_sample(profile, 43, 7);
+  EXPECT_NE(a.raw, c.raw);
+}
+
+TEST(Profile, SamplesRespectClamps) {
+  const auto profile = imagenet_profile(1);
+  for (std::uint64_t id = 0; id < 2000; ++id) {
+    const auto meta = draw_sample(profile, 1, id);
+    EXPECT_GE(meta.raw.width, 64);
+    EXPECT_GE(meta.raw.height, 64);
+    EXPECT_LE(meta.raw.width, 0xffff);
+    EXPECT_LE(meta.raw.height, 0xffff);
+    EXPECT_GE(meta.raw.bytes.count(), 256);
+    EXPECT_GE(meta.texture, 0.0);
+    EXPECT_LE(meta.texture, 1.0);
+    const double pixels = static_cast<double>(meta.raw.pixel_count());
+    const double bpp = meta.raw.bytes.as_double() * 8.0 / pixels;
+    EXPECT_GE(bpp, profile.min_bpp * 0.99);
+    EXPECT_LE(bpp, profile.max_bpp * 1.01);
+  }
+}
+
+TEST(Profile, OpenImagesMatchesPaperAggregates) {
+  // Paper: 12 GB subset, >40k images, 76% shrink after Decode+RRC,
+  // All-Off/No-Off traffic ratio 1.9x (=> mean encoded ~317 KB).
+  const auto catalog = Catalog::generate(openimages_profile(40000), 42);
+  EXPECT_NEAR(catalog.fraction_larger_than(crop_wire()), 0.76, 0.02);
+  EXPECT_NEAR(catalog.mean_encoded().as_double(), 317e3, 25e3);
+  EXPECT_NEAR(catalog.total_encoded().as_double(), 12.7e9, 1.0e9);
+}
+
+TEST(Profile, ImagenetMatchesPaperAggregates) {
+  // Paper: smaller files; only ~26% shrink; All-Off inflates ~5.1x
+  // (=> mean encoded ~120 KB).
+  const auto catalog = Catalog::generate(imagenet_profile(40000), 42);
+  EXPECT_NEAR(catalog.fraction_larger_than(crop_wire()), 0.26, 0.03);
+  EXPECT_NEAR(catalog.mean_encoded().as_double(), 120e3, 12e3);
+}
+
+TEST(Profile, OpenImagesIsHeavierThanImagenet) {
+  const auto oi = Catalog::generate(openimages_profile(10000), 7);
+  const auto in = Catalog::generate(imagenet_profile(10000), 7);
+  EXPECT_GT(oi.mean_encoded().as_double(), 2.0 * in.mean_encoded().as_double());
+}
+
+TEST(Profile, MixtureProducesBimodalImagenet) {
+  // The small component must dominate: median well below the mean.
+  const auto catalog = Catalog::generate(imagenet_profile(20000), 11);
+  std::vector<double> sizes;
+  sizes.reserve(catalog.size());
+  for (const auto& s : catalog.samples()) sizes.push_back(s.raw.bytes.as_double());
+  std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2, sizes.end());
+  const double median = sizes[sizes.size() / 2];
+  EXPECT_LT(median, 0.8 * catalog.mean_encoded().as_double());
+}
+
+TEST(Profile, TextureCorrelatesWithBpp) {
+  const auto profile = openimages_profile(1);
+  double low_bpp_texture = 0.0;
+  double high_bpp_texture = 0.0;
+  int low_n = 0;
+  int high_n = 0;
+  for (std::uint64_t id = 0; id < 3000; ++id) {
+    const auto meta = draw_sample(profile, 3, id);
+    const double bpp =
+        meta.raw.bytes.as_double() * 8.0 / static_cast<double>(meta.raw.pixel_count());
+    if (bpp < 0.8) {
+      low_bpp_texture += meta.texture;
+      ++low_n;
+    } else if (bpp > 1.5) {
+      high_bpp_texture += meta.texture;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 10);
+  ASSERT_GT(high_n, 10);
+  EXPECT_LT(low_bpp_texture / low_n, high_bpp_texture / high_n);
+}
+
+}  // namespace
+}  // namespace sophon::dataset

@@ -1,0 +1,92 @@
+#include "dataset/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace sophon::dataset {
+namespace {
+
+TEST(EpochOrder, IsAPermutation) {
+  const EpochOrder order(1000, 42, 0);
+  auto sorted = order.order();
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> expected(1000);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(EpochOrder, DeterministicPerEpoch) {
+  const EpochOrder a(500, 42, 3);
+  const EpochOrder b(500, 42, 3);
+  EXPECT_EQ(a.order(), b.order());
+}
+
+TEST(EpochOrder, EpochsDiffer) {
+  const EpochOrder e0(500, 42, 0);
+  const EpochOrder e1(500, 42, 1);
+  EXPECT_NE(e0.order(), e1.order());
+}
+
+TEST(EpochOrder, SeedsDiffer) {
+  const EpochOrder a(500, 42, 0);
+  const EpochOrder b(500, 43, 0);
+  EXPECT_NE(a.order(), b.order());
+}
+
+TEST(EpochOrder, ActuallyShuffles) {
+  const EpochOrder order(1000, 42, 0);
+  std::size_t in_place = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    if (order.at(i) == i) ++in_place;
+  }
+  EXPECT_LT(in_place, 30u);  // E[fixed points] = 1
+}
+
+TEST(EpochOrder, AtBoundsChecked) {
+  const EpochOrder order(10, 1, 0);
+  EXPECT_THROW((void)order.at(10), ContractViolation);
+}
+
+TEST(EpochOrder, EmptyAndSingle) {
+  const EpochOrder empty(0, 1, 0);
+  EXPECT_EQ(empty.size(), 0u);
+  const EpochOrder one(1, 1, 0);
+  EXPECT_EQ(one.at(0), 0u);
+}
+
+TEST(MakeBatches, EvenSplit) {
+  const auto batches = make_batches(1000, 250);
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[0].begin, 0u);
+  EXPECT_EQ(batches[0].end, 250u);
+  EXPECT_EQ(batches[3].end, 1000u);
+}
+
+TEST(MakeBatches, ShortFinalBatch) {
+  const auto batches = make_batches(1001, 250);
+  ASSERT_EQ(batches.size(), 5u);
+  EXPECT_EQ(batches[4].size(), 1u);
+}
+
+TEST(MakeBatches, CoversEverySampleOnce) {
+  const auto batches = make_batches(777, 64);
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.begin, expected_begin);
+    covered += b.size();
+    expected_begin = b.end;
+  }
+  EXPECT_EQ(covered, 777u);
+}
+
+TEST(MakeBatches, RejectsZeroBatchSize) {
+  EXPECT_THROW((void)make_batches(10, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::dataset

@@ -1,0 +1,84 @@
+#include "image/color.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::image {
+namespace {
+
+TEST(Color, GrayAxisMapsToNeutralChroma) {
+  for (const int v : {0, 64, 128, 200, 255}) {
+    const auto ycc = rgb_to_ycbcr(static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v),
+                                  static_cast<std::uint8_t>(v));
+    EXPECT_NEAR(ycc.y, v, 1);
+    EXPECT_NEAR(ycc.cb, 128, 1);
+    EXPECT_NEAR(ycc.cr, 128, 1);
+  }
+}
+
+TEST(Color, PrimariesHaveExpectedLuma) {
+  EXPECT_NEAR(rgb_to_ycbcr(255, 0, 0).y, 76, 2);   // 0.299 * 255
+  EXPECT_NEAR(rgb_to_ycbcr(0, 255, 0).y, 150, 2);  // 0.587 * 255
+  EXPECT_NEAR(rgb_to_ycbcr(0, 0, 255).y, 29, 2);   // 0.114 * 255
+}
+
+TEST(Color, RoundTripErrorBounded) {
+  Rng rng(31);
+  double worst = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto g = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto ycc = rgb_to_ycbcr(r, g, b);
+    const auto rgb = ycbcr_to_rgb(ycc.y, ycc.cb, ycc.cr);
+    worst = std::max({worst, std::abs(static_cast<double>(rgb.r) - r),
+                      std::abs(static_cast<double>(rgb.g) - g),
+                      std::abs(static_cast<double>(rgb.b) - b)});
+  }
+  EXPECT_LE(worst, 3.0);  // 8-bit fixed-point round trip
+}
+
+TEST(Color, SplitProducesSubsampledPlanes) {
+  Image img(9, 7, 3);  // odd dims exercise the ceil edges
+  const auto planes = split_ycbcr_420(img);
+  EXPECT_EQ(planes.y.width(), 9);
+  EXPECT_EQ(planes.y.height(), 7);
+  EXPECT_EQ(planes.cb.width(), 5);
+  EXPECT_EQ(planes.cb.height(), 4);
+  EXPECT_EQ(planes.cr.width(), 5);
+  EXPECT_EQ(planes.cr.height(), 4);
+}
+
+TEST(Color, SplitMergeRoundTripOnSmoothContent) {
+  Image img(32, 24, 3);
+  for (int y = 0; y < 24; ++y)
+    for (int x = 0; x < 32; ++x) {
+      img.set(x, y, 0, static_cast<std::uint8_t>(40 + x * 2));
+      img.set(x, y, 1, static_cast<std::uint8_t>(60 + y * 3));
+      img.set(x, y, 2, static_cast<std::uint8_t>(100));
+    }
+  const auto planes = split_ycbcr_420(img);
+  const auto back = merge_ycbcr_420(planes.y, planes.cb, planes.cr, 32, 24);
+  double err = 0.0;
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    err += std::abs(static_cast<int>(img.data()[i]) - static_cast<int>(back.data()[i]));
+  EXPECT_LT(err / static_cast<double>(img.data().size()), 4.0);
+}
+
+TEST(Color, MergeRejectsMismatchedPlanes) {
+  Plane y(8, 8);
+  Plane cb(4, 4);
+  Plane cr(3, 4);  // wrong width
+  EXPECT_THROW((void)merge_ycbcr_420(y, cb, cr, 8, 8), ContractViolation);
+}
+
+TEST(Color, SplitRejectsGrayscale) {
+  EXPECT_THROW((void)split_ycbcr_420(Image(4, 4, 1)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::image

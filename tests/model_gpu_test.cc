@@ -1,0 +1,53 @@
+#include "model/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::model {
+namespace {
+
+TEST(GpuModel, Names) {
+  EXPECT_EQ(net_kind_name(NetKind::kAlexNet), "AlexNet");
+  EXPECT_EQ(net_kind_name(NetKind::kResNet18), "ResNet18");
+  EXPECT_EQ(net_kind_name(NetKind::kResNet50), "ResNet50");
+  EXPECT_EQ(gpu_kind_name(GpuKind::kRtx6000), "RTX-6000");
+  EXPECT_EQ(gpu_kind_name(GpuKind::kV100), "V100");
+}
+
+TEST(GpuModel, ComputeIntensityOrdering) {
+  // Finding #5's premise: ResNet50 is much heavier than ResNet18, which is
+  // heavier than AlexNet — on both GPUs.
+  for (const auto gpu : {GpuKind::kV100, GpuKind::kRtx6000}) {
+    const auto alex = GpuModel::lookup(NetKind::kAlexNet, gpu);
+    const auto r18 = GpuModel::lookup(NetKind::kResNet18, gpu);
+    const auto r50 = GpuModel::lookup(NetKind::kResNet50, gpu);
+    EXPECT_GT(alex.images_per_second(), r18.images_per_second());
+    EXPECT_GT(r18.images_per_second(), 2.0 * r50.images_per_second());
+  }
+}
+
+TEST(GpuModel, BatchTimeScalesWithBatchSize) {
+  const auto m = GpuModel::lookup(NetKind::kResNet18, GpuKind::kV100);
+  const auto small = m.batch_time(64);
+  const auto large = m.batch_time(256);
+  EXPECT_GT(large.value(), small.value());
+  // Four times the batch is just under 4x the time (fixed overhead).
+  EXPECT_LT(large.value(), 4.0 * small.value());
+}
+
+TEST(GpuModel, BatchTimeMatchesThroughput) {
+  const auto m = GpuModel::lookup(NetKind::kResNet50, GpuKind::kV100);
+  // 256 / 360 img/s plus ~2 ms overhead.
+  EXPECT_NEAR(m.batch_time(256).value(), 256.0 / 360.0 + 0.002, 1e-9);
+}
+
+TEST(GpuModel, RejectsBadArguments) {
+  EXPECT_THROW(GpuModel(NetKind::kAlexNet, GpuKind::kV100, 0.0, Seconds(0.0)),
+               ContractViolation);
+  const auto m = GpuModel::lookup(NetKind::kAlexNet, GpuKind::kV100);
+  EXPECT_THROW((void)m.batch_time(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::model

@@ -1,0 +1,73 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::net {
+namespace {
+
+TEST(Link, TransferTimeMatchesBandwidth) {
+  SimLink link(Bandwidth::mbps(500.0), Seconds(0.0));
+  // 62.5 MB at 500 Mbps = 1 second.
+  const auto done = link.schedule(Seconds(0.0), Bytes(62'500'000));
+  EXPECT_DOUBLE_EQ(done.value(), 1.0);
+}
+
+TEST(Link, LatencyAddsAfterLastByte) {
+  SimLink link(Bandwidth::mbps(500.0), Seconds::millis(10.0));
+  const auto done = link.schedule(Seconds(0.0), Bytes(62'500'000));
+  EXPECT_DOUBLE_EQ(done.value(), 1.01);
+  // But the link frees up when the last byte leaves, not after latency.
+  EXPECT_DOUBLE_EQ(link.free_at().value(), 1.0);
+}
+
+TEST(Link, FifoSerialisation) {
+  SimLink link(Bandwidth::mbps(8.0), Seconds(0.0));  // 1 MB/s
+  const auto first = link.schedule(Seconds(0.0), Bytes(1'000'000));
+  EXPECT_DOUBLE_EQ(first.value(), 1.0);
+  // Second message ready at t=0 must wait for the first.
+  const auto second = link.schedule(Seconds(0.0), Bytes(1'000'000));
+  EXPECT_DOUBLE_EQ(second.value(), 2.0);
+  // Third message ready at t=5 starts immediately.
+  const auto third = link.schedule(Seconds(5.0), Bytes(1'000'000));
+  EXPECT_DOUBLE_EQ(third.value(), 6.0);
+}
+
+TEST(Link, TrafficAndBusyAccounting) {
+  SimLink link(Bandwidth::mbps(8.0), Seconds(0.0));
+  link.schedule(Seconds(0.0), Bytes(500'000));
+  link.schedule(Seconds(10.0), Bytes(250'000));
+  EXPECT_EQ(link.traffic().count(), 750'000);
+  EXPECT_DOUBLE_EQ(link.busy_time().value(), 0.75);
+}
+
+TEST(Link, ZeroSizeMessage) {
+  SimLink link(Bandwidth::mbps(100.0), Seconds::millis(1.0));
+  const auto done = link.schedule(Seconds(2.0), Bytes(0));
+  EXPECT_DOUBLE_EQ(done.value(), 2.001);
+  EXPECT_EQ(link.traffic().count(), 0);
+}
+
+TEST(Link, ResetClearsState) {
+  SimLink link(Bandwidth::mbps(8.0), Seconds(0.0));
+  link.schedule(Seconds(0.0), Bytes(1'000'000));
+  link.reset();
+  EXPECT_EQ(link.traffic().count(), 0);
+  EXPECT_DOUBLE_EQ(link.busy_time().value(), 0.0);
+  const auto done = link.schedule(Seconds(0.0), Bytes(1'000'000));
+  EXPECT_DOUBLE_EQ(done.value(), 1.0);
+}
+
+TEST(Link, RejectsBadConstruction) {
+  EXPECT_THROW(SimLink(Bandwidth::mbps(0.0), Seconds(0.0)), ContractViolation);
+  EXPECT_THROW(SimLink(Bandwidth::mbps(1.0), Seconds(-1.0)), ContractViolation);
+}
+
+TEST(Link, RejectsNegativePayload) {
+  SimLink link(Bandwidth::mbps(1.0), Seconds(0.0));
+  EXPECT_THROW((void)link.schedule(Seconds(0.0), Bytes(-1)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::net

@@ -1,0 +1,95 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/sjpg.h"
+#include "util/rng.h"
+
+namespace sophon::net {
+namespace {
+
+pipeline::SampleData random_tensor(int c, int h, int w, std::uint64_t seed) {
+  image::Tensor t(c, h, w);
+  Rng rng(seed);
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+TEST(Wire, EncodedBlobRoundTrip) {
+  pipeline::EncodedBlob blob;
+  blob.bytes = {1, 2, 3, 4, 5};
+  const auto framed = serialize_sample(pipeline::SampleData{blob});
+  const auto back = deserialize_sample(framed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<pipeline::EncodedBlob>(*back).bytes, blob.bytes);
+}
+
+TEST(Wire, ImageRoundTrip) {
+  image::Image img(13, 7, 3);
+  Rng rng(1);
+  for (auto& px : img.data()) px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto framed = serialize_sample(pipeline::SampleData{img});
+  const auto back = deserialize_sample(framed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<image::Image>(*back), img);
+}
+
+TEST(Wire, GrayscaleImageRoundTrip) {
+  image::Image img(5, 4, 1);
+  img.set(2, 2, 0, 99);
+  const auto back = deserialize_sample(serialize_sample(pipeline::SampleData{img}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<image::Image>(*back), img);
+}
+
+TEST(Wire, TensorRoundTripBitExact) {
+  const auto t = random_tensor(3, 9, 11, 5);
+  const auto back = deserialize_sample(serialize_sample(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<image::Tensor>(*back), std::get<image::Tensor>(t));
+}
+
+TEST(Wire, FramedSizeMatchesAnalyticWireSize) {
+  // The analytic wire_size must agree byte-for-byte with serialisation —
+  // it is what the simulator charges the link.
+  pipeline::EncodedBlob blob;
+  blob.bytes.assign(12345, 7);
+  const pipeline::SampleData samples[] = {
+      pipeline::SampleData{blob},
+      pipeline::SampleData{image::Image(224, 224, 3)},
+      pipeline::SampleData{image::Tensor(3, 224, 224)},
+  };
+  for (const auto& s : samples) {
+    auto shape = pipeline::shape_of(s);
+    EXPECT_EQ(wire_size(shape).count(),
+              static_cast<std::int64_t>(serialize_sample(s).size()));
+  }
+}
+
+TEST(Wire, RejectsTruncatedHeader) {
+  EXPECT_FALSE(deserialize_sample(std::vector<std::uint8_t>(8, 0)).has_value());
+}
+
+TEST(Wire, RejectsLengthMismatch) {
+  auto framed = serialize_sample(pipeline::SampleData{image::Image(4, 4, 3)});
+  framed.pop_back();
+  EXPECT_FALSE(deserialize_sample(framed).has_value());
+  framed.push_back(0);
+  framed.push_back(0);
+  EXPECT_FALSE(deserialize_sample(framed).has_value());
+}
+
+TEST(Wire, RejectsBadTag) {
+  auto framed = serialize_sample(pipeline::SampleData{pipeline::EncodedBlob{{1, 2}}});
+  framed[0] = 99;
+  EXPECT_FALSE(deserialize_sample(framed).has_value());
+}
+
+TEST(Wire, RejectsImpossibleImageDims) {
+  auto framed = serialize_sample(pipeline::SampleData{image::Image(4, 4, 3)});
+  framed[9] = 2;  // channels = 2 is not a legal image
+  EXPECT_FALSE(deserialize_sample(framed).has_value());
+}
+
+}  // namespace
+}  // namespace sophon::net

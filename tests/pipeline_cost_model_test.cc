@@ -1,0 +1,94 @@
+#include "pipeline/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::pipeline {
+namespace {
+
+SampleShape encoded(std::int64_t bytes, int w, int h) {
+  return SampleShape::encoded(Bytes(bytes), w, h);
+}
+
+SampleShape image_shape(int w, int h) {
+  SampleShape s;
+  s.repr = Repr::kImage;
+  s.width = w;
+  s.height = h;
+  s.channels = 3;
+  s.bytes = s.byte_size();
+  return s;
+}
+
+SampleShape tensor_shape(int w, int h) {
+  auto s = image_shape(w, h);
+  s.repr = Repr::kTensor;
+  s.bytes = s.byte_size();
+  return s;
+}
+
+TEST(CostModel, DecodeScalesWithBytesAndPixels) {
+  const CostModel cm;
+  const auto small = cm.decode_cost(encoded(100'000, 1024, 768));
+  const auto more_bytes = cm.decode_cost(encoded(400'000, 1024, 768));
+  const auto more_pixels = cm.decode_cost(encoded(100'000, 2048, 1536));
+  EXPECT_GT(more_bytes.value(), small.value());
+  EXPECT_GT(more_pixels.value(), small.value());
+}
+
+TEST(CostModel, DecodeOfTypicalPhotoIsMilliseconds) {
+  // Calibration check: a ~2 MP / ~300 KB photo decodes in single-digit to
+  // low-double-digit milliseconds on one core.
+  const CostModel cm;
+  const auto t = cm.decode_cost(encoded(300'000, 1632, 1224));
+  EXPECT_GT(t.value(), 2e-3);
+  EXPECT_LT(t.value(), 40e-3);
+}
+
+TEST(CostModel, ResizedCropUsesExpectedArea) {
+  CostCoefficients coeffs;
+  coeffs.expected_crop_area_fraction = 1.0;
+  const CostModel full(coeffs);
+  coeffs.expected_crop_area_fraction = 0.5;
+  const CostModel half(coeffs);
+  const auto shape = image_shape(2000, 1500);
+  EXPECT_GT(full.resized_crop_cost(shape, 224).value(),
+            half.resized_crop_cost(shape, 224).value());
+}
+
+TEST(CostModel, CheapOpsAreCheap) {
+  const CostModel cm;
+  const auto crop = image_shape(224, 224);
+  EXPECT_LT(cm.flip_cost(crop).value(), 2e-3);
+  EXPECT_LT(cm.to_tensor_cost(crop).value(), 2e-3);
+  EXPECT_LT(cm.normalize_cost(tensor_shape(224, 224)).value(), 2e-3);
+}
+
+TEST(CostModel, PerOpOverheadIsIncluded) {
+  CostCoefficients coeffs;
+  coeffs.flip_ns_per_pixel = 0.0;
+  coeffs.per_op_overhead_ns = 5000.0;
+  const CostModel cm(coeffs);
+  EXPECT_DOUBLE_EQ(cm.flip_cost(image_shape(10, 10)).value(), 5e-6);
+}
+
+TEST(CostModel, RepresentationPreconditions) {
+  const CostModel cm;
+  EXPECT_THROW((void)cm.decode_cost(image_shape(10, 10)), ContractViolation);
+  EXPECT_THROW((void)cm.resized_crop_cost(encoded(100, 10, 10), 224), ContractViolation);
+  EXPECT_THROW((void)cm.flip_cost(tensor_shape(10, 10)), ContractViolation);
+  EXPECT_THROW((void)cm.to_tensor_cost(tensor_shape(10, 10)), ContractViolation);
+  EXPECT_THROW((void)cm.normalize_cost(image_shape(10, 10)), ContractViolation);
+}
+
+TEST(CostModel, DecodeNeedsDimensions) {
+  const CostModel cm;
+  SampleShape s;
+  s.repr = Repr::kEncoded;
+  s.bytes = Bytes(100);
+  EXPECT_THROW((void)cm.decode_cost(s), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::pipeline

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "codec/sjpg.h"
+#include "pipeline/op.h"
+#include "util/check.h"
+
+namespace sophon::pipeline {
+namespace {
+
+image::Image test_image(int w, int h) {
+  image::Image img(w, h, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.set(x, y, c, static_cast<std::uint8_t>((x + y * 2 + c * 7) % 256));
+  return img;
+}
+
+CostModel model() {
+  return CostModel{};
+}
+
+TEST(OpKindName, AllNamed) {
+  EXPECT_EQ(op_kind_name(OpKind::kDecode), "Decode");
+  EXPECT_EQ(op_kind_name(OpKind::kRandomResizedCrop), "RandomResizedCrop");
+  EXPECT_EQ(op_kind_name(OpKind::kRandomHorizontalFlip), "RandomHorizontalFlip");
+  EXPECT_EQ(op_kind_name(OpKind::kToTensor), "ToTensor");
+  EXPECT_EQ(op_kind_name(OpKind::kNormalize), "Normalize");
+}
+
+TEST(DecodeOp, ApplyMatchesOutShape) {
+  const auto img = test_image(120, 90);
+  const auto blob = codec::sjpg_encode(img, 90);
+  const auto op = make_decode_op();
+  EXPECT_EQ(op->kind(), OpKind::kDecode);
+  EXPECT_FALSE(op->is_random());
+
+  Rng rng(1);
+  const auto out = op->apply(EncodedBlob{blob}, rng);
+  const auto* decoded = std::get_if<image::Image>(&out);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->width(), 120);
+  EXPECT_EQ(decoded->height(), 90);
+
+  const auto raw = SampleShape::encoded(Bytes(static_cast<std::int64_t>(blob.size())), 120, 90);
+  const auto shape = op->out_shape(raw);
+  EXPECT_EQ(shape.repr, Repr::kImage);
+  EXPECT_EQ(shape.byte_size(), decoded->byte_size());
+}
+
+TEST(DecodeOp, RejectsWrongInput) {
+  const auto op = make_decode_op();
+  Rng rng(1);
+  EXPECT_THROW((void)op->apply(image::Image(4, 4, 3), rng), ContractViolation);
+  SampleShape img_shape;
+  img_shape.repr = Repr::kImage;
+  img_shape.width = 4;
+  img_shape.height = 4;
+  EXPECT_THROW((void)op->out_shape(img_shape), ContractViolation);
+}
+
+TEST(DecodeOp, RejectsCorruptBlob) {
+  const auto op = make_decode_op();
+  Rng rng(1);
+  EXPECT_THROW((void)op->apply(EncodedBlob{{1, 2, 3, 4}}, rng), ContractViolation);
+}
+
+TEST(RandomResizedCropOp, ProducesTargetAndMatchesShape) {
+  const auto op = make_random_resized_crop_op(224);
+  EXPECT_TRUE(op->is_random());
+  Rng rng(2);
+  const auto out = op->apply(test_image(500, 400), rng);
+  const auto* img = std::get_if<image::Image>(&out);
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->width(), 224);
+  EXPECT_EQ(img->height(), 224);
+
+  SampleShape in;
+  in.repr = Repr::kImage;
+  in.width = 500;
+  in.height = 400;
+  in.channels = 3;
+  const auto shape = op->out_shape(in);
+  EXPECT_EQ(shape.byte_size(), img->byte_size());
+}
+
+TEST(RandomResizedCropOp, DifferentSeedsDifferentCrops) {
+  const auto op = make_random_resized_crop_op(64);
+  Rng rng_a(10);
+  Rng rng_b(11);
+  const auto a = op->apply(test_image(800, 600), rng_a);
+  const auto b = op->apply(test_image(800, 600), rng_b);
+  EXPECT_NE(std::get<image::Image>(a), std::get<image::Image>(b));
+}
+
+TEST(RandomHorizontalFlipOp, ProbabilityZeroAndOne) {
+  const auto img = test_image(30, 20);
+  Rng rng(3);
+  const auto never = make_random_horizontal_flip_op(0.0)->apply(img, rng);
+  EXPECT_EQ(std::get<image::Image>(never), img);
+  const auto always = make_random_horizontal_flip_op(1.0)->apply(img, rng);
+  EXPECT_EQ(std::get<image::Image>(always), image::horizontal_flip(img));
+}
+
+TEST(RandomHorizontalFlipOp, ShapePreserved) {
+  const auto op = make_random_horizontal_flip_op();
+  SampleShape in;
+  in.repr = Repr::kImage;
+  in.width = 224;
+  in.height = 224;
+  in.channels = 3;
+  EXPECT_EQ(op->out_shape(in), in);
+}
+
+TEST(RandomHorizontalFlipOp, FlipsAboutHalfTheTime) {
+  const auto img = test_image(8, 8);
+  const auto flipped = image::horizontal_flip(img);
+  const auto op = make_random_horizontal_flip_op(0.5);
+  Rng rng(4);
+  int flips = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto out = op->apply(img, rng);
+    if (std::get<image::Image>(out) == flipped) ++flips;
+  }
+  EXPECT_NEAR(flips / 2000.0, 0.5, 0.05);
+}
+
+TEST(ToTensorOp, QuadruplesByteSize) {
+  const auto op = make_to_tensor_op();
+  Rng rng(5);
+  const auto img = test_image(50, 40);
+  const auto out = op->apply(img, rng);
+  EXPECT_EQ(sample_byte_size(out).count(), img.byte_size().count() * 4);
+
+  SampleShape in;
+  in.repr = Repr::kImage;
+  in.width = 50;
+  in.height = 40;
+  in.channels = 3;
+  EXPECT_EQ(op->out_shape(in).byte_size(), sample_byte_size(out));
+}
+
+TEST(NormalizeOp, SizePreservedAndValuesShift) {
+  Rng rng(6);
+  auto tensor_data = make_to_tensor_op()->apply(test_image(10, 10), rng);
+  const auto before = sample_byte_size(tensor_data);
+  const auto out = make_normalize_op()->apply(std::move(tensor_data), rng);
+  EXPECT_EQ(sample_byte_size(out), before);
+  const auto& t = std::get<image::Tensor>(out);
+  // Normalised values are not confined to [0,1].
+  bool outside = false;
+  for (const auto v : t.data())
+    if (v < 0.0f || v > 1.0f) outside = true;
+  EXPECT_TRUE(outside);
+}
+
+TEST(NormalizeOp, RejectsImageInput) {
+  Rng rng(7);
+  EXPECT_THROW((void)make_normalize_op()->apply(test_image(4, 4), rng), ContractViolation);
+}
+
+// Cost properties shared by all ops: positive, monotone in input size.
+TEST(OpCosts, PositiveAndMonotone) {
+  const auto cm = model();
+  const auto small = SampleShape::encoded(Bytes(50'000), 640, 480);
+  const auto large = SampleShape::encoded(Bytes(500'000), 2048, 1536);
+
+  const auto decode = make_decode_op();
+  EXPECT_GT(decode->cost(small, cm).value(), 0.0);
+  EXPECT_GT(decode->cost(large, cm).value(), decode->cost(small, cm).value());
+
+  const auto rrc = make_random_resized_crop_op(224);
+  const auto small_img = decode->out_shape(small);
+  const auto large_img = decode->out_shape(large);
+  EXPECT_GT(rrc->cost(large_img, cm).value(), rrc->cost(small_img, cm).value());
+
+  const auto flip = make_random_horizontal_flip_op();
+  const auto cropped = rrc->out_shape(large_img);
+  EXPECT_GT(flip->cost(cropped, cm).value(), 0.0);
+
+  const auto tt = make_to_tensor_op();
+  EXPECT_GT(tt->cost(cropped, cm).value(), 0.0);
+
+  const auto norm = make_normalize_op();
+  EXPECT_GT(norm->cost(tt->out_shape(cropped), cm).value(), 0.0);
+}
+
+TEST(OpCosts, DecodeDominatesPipelineForLargeImages) {
+  // Finding #4's premise: Decode (+crop) is where the CPU time goes.
+  const auto cm = model();
+  const auto raw = SampleShape::encoded(Bytes(400'000), 2048, 1536);
+  const auto decode = make_decode_op();
+  const auto flip = make_random_horizontal_flip_op();
+  const auto cropped_shape = make_random_resized_crop_op(224)->out_shape(decode->out_shape(raw));
+  EXPECT_GT(decode->cost(raw, cm).value(), 10.0 * flip->cost(cropped_shape, cm).value());
+}
+
+}  // namespace
+}  // namespace sophon::pipeline

@@ -1,0 +1,69 @@
+#include "pipeline/sample.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::pipeline {
+namespace {
+
+TEST(Sample, ByteSizePerRepresentation) {
+  const SampleData blob = EncodedBlob{std::vector<std::uint8_t>(1000)};
+  EXPECT_EQ(sample_byte_size(blob).count(), 1000);
+  EXPECT_EQ(sample_repr(blob), Repr::kEncoded);
+
+  const SampleData img = image::Image(224, 224, 3);
+  EXPECT_EQ(sample_byte_size(img).count(), 224 * 224 * 3);
+  EXPECT_EQ(sample_repr(img), Repr::kImage);
+
+  const SampleData tensor = image::Tensor(3, 224, 224);
+  EXPECT_EQ(sample_byte_size(tensor).count(), 224 * 224 * 3 * 4);
+  EXPECT_EQ(sample_repr(tensor), Repr::kTensor);
+}
+
+TEST(SampleShape, EncodedFactory) {
+  const auto s = SampleShape::encoded(Bytes(5000), 640, 480);
+  EXPECT_EQ(s.repr, Repr::kEncoded);
+  EXPECT_EQ(s.byte_size().count(), 5000);
+  EXPECT_EQ(s.pixel_count(), 640 * 480);
+  EXPECT_EQ(s.channels, 3);
+}
+
+TEST(SampleShape, DerivedSizes) {
+  SampleShape s;
+  s.repr = Repr::kImage;
+  s.width = 100;
+  s.height = 50;
+  s.channels = 3;
+  EXPECT_EQ(s.byte_size().count(), 100 * 50 * 3);
+  s.repr = Repr::kTensor;
+  EXPECT_EQ(s.byte_size().count(), 100 * 50 * 3 * 4);
+}
+
+TEST(SampleShape, FactoryRejectsBadArguments) {
+  EXPECT_THROW((void)SampleShape::encoded(Bytes(0), 10, 10), ContractViolation);
+  EXPECT_THROW((void)SampleShape::encoded(Bytes(10), 0, 10), ContractViolation);
+  EXPECT_THROW((void)SampleShape::encoded(Bytes(10), 10, 10, 2), ContractViolation);
+}
+
+TEST(ShapeOf, MatchesMaterialisedData) {
+  const SampleData img = image::Image(320, 240, 3);
+  const auto s = shape_of(img);
+  EXPECT_EQ(s.repr, Repr::kImage);
+  EXPECT_EQ(s.width, 320);
+  EXPECT_EQ(s.height, 240);
+  EXPECT_EQ(s.bytes, sample_byte_size(img));
+
+  const SampleData tensor = image::Tensor(3, 8, 8);
+  const auto ts = shape_of(tensor);
+  EXPECT_EQ(ts.repr, Repr::kTensor);
+  EXPECT_EQ(ts.bytes.count(), 3 * 8 * 8 * 4);
+
+  const SampleData blob = EncodedBlob{std::vector<std::uint8_t>(321)};
+  const auto bs = shape_of(blob);
+  EXPECT_EQ(bs.repr, Repr::kEncoded);
+  EXPECT_EQ(bs.bytes.count(), 321);
+}
+
+}  // namespace
+}  // namespace sophon::pipeline

@@ -1,0 +1,165 @@
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/sjpg.h"
+#include "util/check.h"
+
+namespace sophon::pipeline {
+namespace {
+
+image::Image test_image(int w, int h) {
+  image::Image img(w, h, 3);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.set(x, y, c, static_cast<std::uint8_t>((x * 2 + y * 3 + c * 13) % 256));
+  return img;
+}
+
+SampleData encoded_sample(int w, int h) {
+  return EncodedBlob{codec::sjpg_encode(test_image(w, h), 90)};
+}
+
+SampleShape raw_shape(const SampleData& blob, int w, int h) {
+  return SampleShape::encoded(sample_byte_size(blob), w, h);
+}
+
+TEST(Pipeline, StandardHasFiveOpsInOrder) {
+  const auto pipe = Pipeline::standard();
+  ASSERT_EQ(pipe.size(), 5u);
+  EXPECT_EQ(pipe.op(0).kind(), OpKind::kDecode);
+  EXPECT_EQ(pipe.op(1).kind(), OpKind::kRandomResizedCrop);
+  EXPECT_EQ(pipe.op(2).kind(), OpKind::kRandomHorizontalFlip);
+  EXPECT_EQ(pipe.op(3).kind(), OpKind::kToTensor);
+  EXPECT_EQ(pipe.op(4).kind(), OpKind::kNormalize);
+}
+
+TEST(Pipeline, RunAllYieldsNormalizedTensor) {
+  const auto pipe = Pipeline::standard();
+  Rng rng(1);
+  const auto out = pipe.run_all(encoded_sample(300, 200), rng);
+  const auto* t = std::get_if<image::Tensor>(&out);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->width(), 224);
+  EXPECT_EQ(t->height(), 224);
+  EXPECT_EQ(t->channels(), 3);
+}
+
+TEST(Pipeline, PartialRunStopsAtStage) {
+  const auto pipe = Pipeline::standard();
+  Rng rng(2);
+  const auto at2 = pipe.run(encoded_sample(300, 200), 0, 2, rng);
+  const auto* img = std::get_if<image::Image>(&at2);
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->width(), 224);
+}
+
+TEST(Pipeline, SplitRunMatchesContiguousRun) {
+  // The offloading invariant: running [0,k) then [k,5) with the same stream
+  // seed equals running [0,5) in one go — for every cut point.
+  const auto pipe = Pipeline::standard();
+  const auto sample = encoded_sample(400, 300);
+  const std::uint64_t stream = 12345;
+  const auto whole = pipe.run_seeded(sample, 0, 5, stream);
+  for (std::size_t k = 0; k <= 5; ++k) {
+    auto part = pipe.run_seeded(sample, 0, k, stream);
+    part = pipe.run_seeded(std::move(part), k, 5, stream);
+    EXPECT_EQ(std::get<image::Tensor>(part), std::get<image::Tensor>(whole)) << "cut at " << k;
+  }
+}
+
+TEST(Pipeline, SeededRunsAreReproducible) {
+  const auto pipe = Pipeline::standard();
+  const auto sample = encoded_sample(256, 256);
+  const auto a = pipe.run_seeded(sample, 0, 5, 99);
+  const auto b = pipe.run_seeded(sample, 0, 5, 99);
+  const auto c = pipe.run_seeded(sample, 0, 5, 100);
+  EXPECT_EQ(std::get<image::Tensor>(a), std::get<image::Tensor>(b));
+  EXPECT_NE(std::get<image::Tensor>(a), std::get<image::Tensor>(c));
+}
+
+TEST(Pipeline, ShapeAtTracksRepresentations) {
+  const auto pipe = Pipeline::standard();
+  const auto raw = SampleShape::encoded(Bytes(462 * 1024), 2048, 1536);
+  EXPECT_EQ(pipe.shape_at(raw, 0).repr, Repr::kEncoded);
+  EXPECT_EQ(pipe.shape_at(raw, 1).repr, Repr::kImage);
+  EXPECT_EQ(pipe.shape_at(raw, 1).byte_size().count(), 2048 * 1536 * 3);
+  EXPECT_EQ(pipe.shape_at(raw, 2).byte_size().count(), 224 * 224 * 3);
+  EXPECT_EQ(pipe.shape_at(raw, 3).byte_size().count(), 224 * 224 * 3);
+  EXPECT_EQ(pipe.shape_at(raw, 4).byte_size().count(), 224 * 224 * 3 * 4);
+  EXPECT_EQ(pipe.shape_at(raw, 5).byte_size().count(), 224 * 224 * 3 * 4);
+}
+
+TEST(Pipeline, ShapeAtMatchesRealExecutionEverywhere) {
+  const auto pipe = Pipeline::standard();
+  const auto sample = encoded_sample(640, 480);
+  const auto raw = raw_shape(sample, 640, 480);
+  for (std::size_t k = 0; k <= pipe.size(); ++k) {
+    const auto real = pipe.run_seeded(sample, 0, k, 7);
+    EXPECT_EQ(pipe.shape_at(raw, k).byte_size(), sample_byte_size(real)) << "stage " << k;
+  }
+}
+
+TEST(Pipeline, AnalyticTraceReproducesFigure1aSampleA) {
+  // Paper's Sample A: 462 KB JPEG, large source → minimum after
+  // RandomResizedCrop, ToTensor inflates 4x.
+  const auto pipe = Pipeline::standard();
+  const auto raw = SampleShape::encoded(Bytes(462 * 1024), 2048, 1536);
+  const pipeline::CostModel cm;
+  const auto trace = pipe.analytic_trace(raw, cm);
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0].size.count(), 462 * 1024);
+  EXPECT_GT(trace[1].size, trace[0].size);                   // decode inflates
+  EXPECT_LT(trace[2].size, trace[0].size);                   // crop shrinks below raw
+  EXPECT_EQ(trace[3].size, trace[2].size);                   // flip size-neutral
+  EXPECT_EQ(trace[4].size.count(), trace[2].size.count() * 4);  // ToTensor 4x
+  EXPECT_EQ(trace[5].size, trace[4].size);                   // normalize size-neutral
+  EXPECT_EQ(pipe.min_size_stage(raw), 2u);
+}
+
+TEST(Pipeline, MinStageZeroForSmallImages) {
+  // Paper's Sample B: already-small raw JPEG should not be offloaded.
+  const auto pipe = Pipeline::standard();
+  const auto raw = SampleShape::encoded(Bytes(90 * 1024), 500, 375);
+  EXPECT_EQ(pipe.min_size_stage(raw), 0u);
+}
+
+TEST(Pipeline, PrefixPlusSuffixEqualsTotalCost) {
+  const auto pipe = Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto raw = SampleShape::encoded(Bytes(300'000), 1600, 1200);
+  const auto total = pipe.suffix_cost(raw, 0, cm);
+  for (std::size_t k = 0; k <= pipe.size(); ++k) {
+    const auto split = pipe.prefix_cost(raw, k, cm) + pipe.suffix_cost(raw, k, cm);
+    EXPECT_NEAR(split.value(), total.value(), 1e-12) << "cut at " << k;
+  }
+}
+
+TEST(Pipeline, OpCostMatchesTraceEntries) {
+  const auto pipe = Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto raw = SampleShape::encoded(Bytes(200'000), 1024, 768);
+  const auto trace = pipe.analytic_trace(raw, cm);
+  for (std::size_t i = 0; i < pipe.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pipe.op_cost(raw, i, cm).value(), trace[i + 1].op_cost.value());
+  }
+}
+
+TEST(Pipeline, RunRejectsBadStageBounds) {
+  const auto pipe = Pipeline::standard();
+  Rng rng(3);
+  EXPECT_THROW((void)pipe.run(encoded_sample(64, 64), 3, 2, rng), ContractViolation);
+  EXPECT_THROW((void)pipe.run(encoded_sample(64, 64), 0, 6, rng), ContractViolation);
+  EXPECT_THROW((void)pipe.op(5), ContractViolation);
+}
+
+TEST(Pipeline, CustomTargetSize) {
+  const auto pipe = Pipeline::standard(96);
+  Rng rng(4);
+  const auto out = pipe.run(encoded_sample(300, 300), 0, 2, rng);
+  EXPECT_EQ(std::get<image::Image>(out).width(), 96);
+}
+
+}  // namespace
+}  // namespace sophon::pipeline

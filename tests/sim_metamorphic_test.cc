@@ -1,0 +1,116 @@
+// Metamorphic properties of the discrete-event trainer: known input
+// transformations must move the outputs in provably known directions.
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "sim/trainer.h"
+
+namespace sophon::sim {
+namespace {
+
+struct Fixture {
+  dataset::Catalog catalog = dataset::Catalog::generate(dataset::openimages_profile(3000), 42);
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  ClusterConfig cluster = [] {
+    ClusterConfig c;
+    c.bandwidth = Bandwidth::mbps(200.0);
+    return c;
+  }();
+  Seconds batch_time = Seconds::millis(40.0);
+
+  EpochStats run() {
+    return simulate_epoch(catalog, pipe, cm, cluster, batch_time, {}, 42, 0);
+  }
+};
+
+TEST(SimMetamorphic, BandwidthScalingScalesNetworkBoundEpoch) {
+  // Network-dominated regime: scaling bandwidth by k scales epoch time by
+  // ~1/k until another resource takes over.
+  Fixture f;
+  f.cluster.bandwidth = Bandwidth::mbps(50.0);  // deeply network-bound
+  const auto slow = f.run();
+  f.cluster.bandwidth = Bandwidth::mbps(100.0);
+  const auto fast = f.run();
+  EXPECT_NEAR(slow.epoch_time.value() / fast.epoch_time.value(), 2.0, 0.1);
+  EXPECT_EQ(slow.traffic, fast.traffic);  // bytes moved are invariant
+}
+
+TEST(SimMetamorphic, CostModelScalingScalesCpuBusy) {
+  Fixture f;
+  const auto base = f.run();
+  pipeline::CostCoefficients coeffs;  // defaults
+  coeffs.decode_ns_per_byte *= 2.0;
+  coeffs.decode_ns_per_pixel *= 2.0;
+  coeffs.crop_ns_per_src_pixel *= 2.0;
+  coeffs.resize_ns_per_out_pixel *= 2.0;
+  coeffs.flip_ns_per_pixel *= 2.0;
+  coeffs.to_tensor_ns_per_element *= 2.0;
+  coeffs.normalize_ns_per_element *= 2.0;
+  coeffs.per_op_overhead_ns *= 2.0;
+  f.cm = pipeline::CostModel(coeffs);
+  const auto doubled = f.run();
+  EXPECT_NEAR(doubled.compute_cpu_busy.value(), 2.0 * base.compute_cpu_busy.value(),
+              1e-6 * base.compute_cpu_busy.value());
+}
+
+TEST(SimMetamorphic, LargerPrefetchWindowNeverSlower) {
+  Fixture f;
+  double prev = 1e300;
+  for (const std::size_t window : {1u, 2u, 4u, 8u, 16u}) {
+    f.cluster.prefetch_batches = window;
+    const auto stats = f.run();
+    EXPECT_LE(stats.epoch_time.value(), prev + 1e-9) << "window " << window;
+    prev = stats.epoch_time.value();
+  }
+}
+
+TEST(SimMetamorphic, MoreComputeCoresNeverSlower) {
+  Fixture f;
+  f.cluster.compute_cores = 2;
+  const auto few = f.run();
+  f.cluster.compute_cores = 16;
+  const auto many = f.run();
+  EXPECT_LE(many.epoch_time.value(), few.epoch_time.value() + 1e-9);
+  // Total CPU work is identical; it just spreads across cores.
+  EXPECT_NEAR(many.compute_cpu_busy.value(), few.compute_cpu_busy.value(), 1e-9);
+}
+
+TEST(SimMetamorphic, LatencyOnlyShiftsNotScales) {
+  Fixture f;
+  f.cluster.link_latency = Seconds::millis(0.0);
+  const auto zero = f.run();
+  f.cluster.link_latency = Seconds::millis(50.0);
+  const auto high = f.run();
+  // Pipelined fetches hide per-message latency: the epoch grows by far less
+  // than samples * latency.
+  EXPECT_GE(high.epoch_time.value(), zero.epoch_time.value() - 1e-9);
+  EXPECT_LT(high.epoch_time.value() - zero.epoch_time.value(),
+            0.05 * static_cast<double>(f.catalog.size()) * 0.050);
+}
+
+TEST(SimMetamorphic, BatchSizeChangesGranularityNotTraffic) {
+  Fixture f;
+  f.cluster.batch_size = 64;
+  const auto small = f.run();
+  f.cluster.batch_size = 512;
+  const auto large = f.run();
+  EXPECT_EQ(small.traffic, large.traffic);
+  EXPECT_EQ(small.batches, (3000u + 63) / 64);
+  EXPECT_EQ(large.batches, (3000u + 511) / 512);
+}
+
+TEST(SimMetamorphic, SubsetCatalogTakesProportionallyLess) {
+  // Half the samples (same distribution) → roughly half the network-bound
+  // epoch time.
+  Fixture f;
+  const auto full = f.run();
+  const auto half_catalog =
+      dataset::Catalog::generate(dataset::openimages_profile(1500), 42);
+  const auto half = simulate_epoch(half_catalog, f.pipe, f.cm, f.cluster, f.batch_time, {}, 42,
+                                   0);
+  EXPECT_NEAR(full.epoch_time.value() / half.epoch_time.value(), 2.0, 0.25);
+}
+
+}  // namespace
+}  // namespace sophon::sim

@@ -1,0 +1,85 @@
+#include "sim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::sim {
+namespace {
+
+TEST(CpuPool, SingleCoreSerialises) {
+  CpuPool pool(1);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(2.0)).value(), 2.0);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(3.0)).value(), 5.0);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(10.0), Seconds(1.0)).value(), 11.0);
+}
+
+TEST(CpuPool, MultiCoreRunsInParallel) {
+  CpuPool pool(2);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(4.0)).value(), 4.0);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(4.0)).value(), 4.0);
+  // Third job waits for the earliest core.
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(1.0)).value(), 5.0);
+}
+
+TEST(CpuPool, PicksEarliestFreeCore) {
+  CpuPool pool(2);
+  pool.schedule(Seconds(0.0), Seconds(10.0));  // core A busy until 10
+  pool.schedule(Seconds(0.0), Seconds(1.0));   // core B busy until 1
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(1.0)).value(), 2.0);
+}
+
+TEST(CpuPool, SpeedFactorScalesDurations) {
+  CpuPool pool(1, 2.0);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(4.0)).value(), 2.0);
+  CpuPool slow(1, 0.5);
+  EXPECT_DOUBLE_EQ(slow.schedule(Seconds(0.0), Seconds(4.0)).value(), 8.0);
+}
+
+TEST(CpuPool, BusyTimeAndMakespan) {
+  CpuPool pool(2);
+  pool.schedule(Seconds(0.0), Seconds(3.0));
+  pool.schedule(Seconds(1.0), Seconds(2.0));
+  EXPECT_DOUBLE_EQ(pool.busy_time().value(), 5.0);
+  EXPECT_DOUBLE_EQ(pool.makespan().value(), 3.0);
+}
+
+TEST(CpuPool, ZeroCorePoolCannotSchedule) {
+  CpuPool pool(0);
+  EXPECT_FALSE(pool.can_schedule());
+  EXPECT_THROW((void)pool.schedule(Seconds(0.0), Seconds(1.0)), ContractViolation);
+}
+
+TEST(CpuPool, ResetRestoresIdleState) {
+  CpuPool pool(1);
+  pool.schedule(Seconds(0.0), Seconds(5.0));
+  pool.reset();
+  EXPECT_DOUBLE_EQ(pool.busy_time().value(), 0.0);
+  EXPECT_DOUBLE_EQ(pool.schedule(Seconds(0.0), Seconds(1.0)).value(), 1.0);
+}
+
+TEST(CpuPool, RejectsBadArguments) {
+  EXPECT_THROW(CpuPool(-1), ContractViolation);
+  EXPECT_THROW(CpuPool(1, 0.0), ContractViolation);
+  CpuPool pool(1);
+  EXPECT_THROW((void)pool.schedule(Seconds(0.0), Seconds(-1.0)), ContractViolation);
+}
+
+TEST(Gpu, FifoBatches) {
+  GpuResource gpu;
+  EXPECT_DOUBLE_EQ(gpu.schedule(Seconds(0.0), Seconds(0.1)).value(), 0.1);
+  EXPECT_DOUBLE_EQ(gpu.schedule(Seconds(0.0), Seconds(0.1)).value(), 0.2);
+  EXPECT_DOUBLE_EQ(gpu.schedule(Seconds(1.0), Seconds(0.1)).value(), 1.1);
+  EXPECT_DOUBLE_EQ(gpu.busy_time().value(), 0.3);
+}
+
+TEST(Gpu, Reset) {
+  GpuResource gpu;
+  gpu.schedule(Seconds(0.0), Seconds(1.0));
+  gpu.reset();
+  EXPECT_DOUBLE_EQ(gpu.busy_time().value(), 0.0);
+  EXPECT_DOUBLE_EQ(gpu.free_at().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace sophon::sim

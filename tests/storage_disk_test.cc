@@ -1,0 +1,111 @@
+#include "storage/disk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "codec/sjpg.h"
+#include "dataset/synth.h"
+#include "util/check.h"
+
+namespace sophon::storage {
+namespace {
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("sophon_disk_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(DiskStoreTest, PutGetRoundTrip) {
+  DiskStore store(root_);
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  ASSERT_TRUE(store.put(7, blob));
+  EXPECT_TRUE(store.contains(7));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stored_bytes().count(), 5);
+  const auto back = store.get(7);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, blob);
+}
+
+TEST_F(DiskStoreTest, MissingIdReturnsNullopt) {
+  DiskStore store(root_);
+  EXPECT_FALSE(store.get(99).has_value());
+  EXPECT_FALSE(store.contains(99));
+}
+
+TEST_F(DiskStoreTest, OverwriteReplacesBlob) {
+  DiskStore store(root_);
+  ASSERT_TRUE(store.put(1, {1, 2, 3}));
+  ASSERT_TRUE(store.put(1, {9, 9, 9, 9}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stored_bytes().count(), 4);
+  EXPECT_EQ(store.get(1)->size(), 4u);
+}
+
+TEST_F(DiskStoreTest, SurvivesReopen) {
+  {
+    DiskStore store(root_);
+    ASSERT_TRUE(store.put(1, {10, 20}));
+    ASSERT_TRUE(store.put(2, {30, 40, 50}));
+  }
+  DiskStore reopened(root_);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.stored_bytes().count(), 5);
+  EXPECT_EQ(*reopened.get(2), (std::vector<std::uint8_t>{30, 40, 50}));
+}
+
+TEST_F(DiskStoreTest, IngestCatalogWritesDecodableBlobs) {
+  auto profile = dataset::openimages_profile(6);
+  profile.min_pixels = 5e4;
+  profile.max_pixels = 1.2e5;
+  const auto catalog = dataset::Catalog::generate(profile, 42);
+
+  DiskStore store(root_);
+  EXPECT_EQ(store.ingest_catalog(catalog, 42, profile.quality), 6u);
+  EXPECT_EQ(store.size(), 6u);
+  for (const auto& meta : catalog.samples()) {
+    const auto blob = store.get(meta.id);
+    ASSERT_TRUE(blob.has_value());
+    const auto decoded = codec::sjpg_decode(*blob);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->width(), meta.raw.width);
+    EXPECT_EQ(decoded->height(), meta.raw.height);
+  }
+  // Re-ingest is a no-op.
+  EXPECT_EQ(store.ingest_catalog(catalog, 42, profile.quality), 0u);
+}
+
+TEST_F(DiskStoreTest, IngestedBytesMatchManifest) {
+  auto profile = dataset::openimages_profile(4);
+  profile.min_pixels = 5e4;
+  profile.max_pixels = 1e5;
+  const auto catalog = dataset::Catalog::generate(profile, 7);
+  DiskStore store(root_);
+  store.ingest_catalog(catalog, 7, profile.quality);
+
+  std::int64_t on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.path().extension() == ".sjpg") {
+      on_disk += static_cast<std::int64_t>(entry.file_size());
+    }
+  }
+  EXPECT_EQ(store.stored_bytes().count(), on_disk);
+}
+
+TEST_F(DiskStoreTest, RejectsEmptyBlob) {
+  DiskStore store(root_);
+  EXPECT_THROW((void)store.put(1, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::storage

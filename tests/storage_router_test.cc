@@ -1,0 +1,91 @@
+#include "storage/router.h"
+
+#include <gtest/gtest.h>
+
+#include "loader/loader.h"
+#include "net/wire.h"
+#include "storage/dataset_store.h"
+#include "storage/server.h"
+#include "util/check.h"
+
+namespace sophon::storage {
+namespace {
+
+struct TwoNodeCluster {
+  dataset::DatasetProfile profile = [] {
+    auto p = dataset::openimages_profile(16);
+    p.min_pixels = 5e4;
+    p.max_pixels = 1.5e5;
+    return p;
+  }();
+  dataset::Catalog catalog = dataset::Catalog::generate(profile, 42);
+  pipeline::Pipeline pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  // Both nodes can materialise every sample (same seed/quality), as if the
+  // dataset were fully replicated; the shard map decides who serves what.
+  DatasetStore store_a{catalog, 42, profile.quality};
+  DatasetStore store_b{catalog, 42, profile.quality};
+  StorageServer node_a{store_a, pipe, cm, {.seed = 42}};
+  StorageServer node_b{store_b, pipe, cm, {.seed = 42}};
+  ShardMap shards = ShardMap::hashed(catalog.size(), 2, 7);
+  RoutedFetchService router{{&node_a, &node_b}, shards};
+};
+
+TEST(Router, ForwardsToTheOwningNode) {
+  TwoNodeCluster c;
+  for (std::size_t i = 0; i < c.catalog.size(); ++i) {
+    net::FetchRequest req;
+    req.sample_id = i;
+    (void)c.router.fetch(req);
+  }
+  const auto hist = c.shards.histogram();
+  const auto requests = c.router.per_node_requests();
+  EXPECT_EQ(requests[0], hist[0]);
+  EXPECT_EQ(requests[1], hist[1]);
+  EXPECT_EQ(c.node_a.requests_served(), hist[0]);
+  EXPECT_EQ(c.node_b.requests_served(), hist[1]);
+}
+
+TEST(Router, ResponsesIdenticalToDirectFetch) {
+  TwoNodeCluster c;
+  net::FetchRequest req;
+  req.sample_id = 3;
+  req.epoch = 1;
+  req.directive.prefix_len = 2;
+  const auto via_router = c.router.fetch(req);
+  const auto direct = (c.shards.node_of(3) == 0 ? c.node_a : c.node_b).fetch(req);
+  EXPECT_EQ(via_router.payload, direct.payload);
+  EXPECT_EQ(via_router.stage, direct.stage);
+}
+
+TEST(Router, WorksAsTheLoadersService) {
+  TwoNodeCluster c;
+  core::OffloadPlan plan(c.catalog.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    plan.set(i, static_cast<std::uint8_t>(i % 2 == 0 ? 2 : 0));
+  }
+  loader::DataLoader loader(c.router, c.pipe, plan, c.catalog.size(),
+                            {.num_workers = 3, .queue_capacity = 8, .seed = 42, .epoch = 0});
+  loader.start();
+  std::size_t count = 0;
+  while (const auto item = loader.next()) {
+    EXPECT_EQ(item->tensor.width(), 224);
+    ++count;
+  }
+  EXPECT_EQ(count, c.catalog.size());
+  const auto requests = c.router.per_node_requests();
+  EXPECT_GT(requests[0], 0u);
+  EXPECT_GT(requests[1], 0u);
+}
+
+TEST(Router, RejectsBadConstructionAndUnknownSamples) {
+  TwoNodeCluster c;
+  EXPECT_THROW(RoutedFetchService({&c.node_a}, c.shards), ContractViolation);  // arity
+  EXPECT_THROW(RoutedFetchService({&c.node_a, nullptr}, c.shards), ContractViolation);
+  net::FetchRequest req;
+  req.sample_id = 999;
+  EXPECT_THROW((void)c.router.fetch(req), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::storage

@@ -1,0 +1,68 @@
+#include "storage/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon::storage {
+namespace {
+
+TEST(ShardMap, HashedIsBalanced) {
+  const auto map = ShardMap::hashed(40000, 4, 42);
+  EXPECT_EQ(map.size(), 40000u);
+  EXPECT_EQ(map.num_nodes(), 4);
+  const auto hist = map.histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  for (const auto count : hist) {
+    EXPECT_NEAR(static_cast<double>(count), 10000.0, 300.0);
+  }
+}
+
+TEST(ShardMap, HashedIsDeterministic) {
+  const auto a = ShardMap::hashed(1000, 3, 7);
+  const auto b = ShardMap::hashed(1000, 3, 7);
+  const auto c = ShardMap::hashed(1000, 3, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.node_of(i), b.node_of(i));
+    if (a.node_of(i) != c.node_of(i)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ShardMap, ContiguousRanges) {
+  const auto map = ShardMap::contiguous(10, 3);
+  // per_node = ceil(10/3) = 4 → [0..3]=0, [4..7]=1, [8..9]=2
+  EXPECT_EQ(map.node_of(0), 0);
+  EXPECT_EQ(map.node_of(3), 0);
+  EXPECT_EQ(map.node_of(4), 1);
+  EXPECT_EQ(map.node_of(7), 1);
+  EXPECT_EQ(map.node_of(8), 2);
+  EXPECT_EQ(map.node_of(9), 2);
+}
+
+TEST(ShardMap, ContiguousCoversAllNodesWhenDivisible) {
+  const auto map = ShardMap::contiguous(12, 4);
+  const auto hist = map.histogram();
+  for (const auto count : hist) EXPECT_EQ(count, 3u);
+}
+
+TEST(ShardMap, ExplicitMapValidated) {
+  const auto map = ShardMap::explicit_map({0, 1, 1, 0}, 2);
+  EXPECT_EQ(map.node_of(1), 1);
+  EXPECT_THROW((void)ShardMap::explicit_map({0, 2}, 2), ContractViolation);
+}
+
+TEST(ShardMap, SingleNodeMapsEverythingToZero) {
+  const auto map = ShardMap::hashed(100, 1, 1);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(map.node_of(i), 0);
+}
+
+TEST(ShardMap, BoundsChecked) {
+  const auto map = ShardMap::hashed(10, 2, 1);
+  EXPECT_THROW((void)map.node_of(10), ContractViolation);
+  EXPECT_THROW((void)ShardMap::hashed(10, 0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sophon::storage

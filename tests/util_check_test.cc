@@ -1,0 +1,46 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace sophon {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(SOPHON_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SOPHON_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsContractViolation) {
+  EXPECT_THROW(SOPHON_CHECK(false), ContractViolation);
+  EXPECT_THROW(SOPHON_CHECK_MSG(false, "context"), ContractViolation);
+}
+
+TEST(Check, MessageCarriesExpressionFileAndContext) {
+  try {
+    SOPHON_CHECK_MSG(2 > 3, "two is not greater");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("util_check_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater"), std::string::npos);
+  }
+}
+
+TEST(Check, ContractViolationIsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(SOPHON_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  SOPHON_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sophon

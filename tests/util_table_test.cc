@@ -1,0 +1,46 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace sophon {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"policy", "time"});
+  t.add_row({"No-Off", "202.1"});
+  t.add_row({"SOPHON", "89.4"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("policy"), std::string::npos);
+  EXPECT_NE(text.find("No-Off"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);  // header+rule+2 rows
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"b", "100.0"});
+  const auto text = t.render();
+  // "1.5" should be padded on the left to match "100.0" / "value" width.
+  EXPECT_NE(text.find("  1.5"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%.2fx", 1.234), "1.23x");
+  EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+}  // namespace
+}  // namespace sophon

@@ -1,0 +1,92 @@
+#include "util/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sophon {
+namespace {
+
+TEST(Telemetry, CounterIncrements) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("sophon_fetch");
+  c.increment();
+  c.increment(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name → same counter.
+  EXPECT_EQ(registry.counter("sophon_fetch").value(), 5u);
+}
+
+TEST(Telemetry, GaugeSets) {
+  MetricsRegistry registry;
+  registry.gauge("sophon_queue_depth").set(7.5);
+  registry.gauge("sophon_queue_depth").set(2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("sophon_queue_depth").value(), 2.0);
+}
+
+TEST(Telemetry, DurationAccumulates) {
+  MetricsRegistry registry;
+  auto& d = registry.duration("sophon_preprocess");
+  d.observe(Seconds(0.5));
+  d.observe(Seconds(1.5));
+  const auto stats = d.snapshot();
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 1.5);
+}
+
+TEST(Telemetry, ScopedTimerObservesPositiveSpan) {
+  MetricsRegistry registry;
+  auto& d = registry.duration("sophon_span");
+  {
+    ScopedTimer timer(d);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto stats = d.snapshot();
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_GT(stats.sum(), 0.0);
+}
+
+TEST(Telemetry, ExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("sophon_b").increment(3);
+  registry.counter("sophon_a").increment();
+  registry.gauge("sophon_g").set(1.5);
+  registry.duration("sophon_d").observe(Seconds(0.25));
+  const auto text = registry.expose();
+  EXPECT_NE(text.find("sophon_a_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_b_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_g 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_d_seconds_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_d_seconds_sum 0.25\n"), std::string::npos);
+  // Sorted: a before b.
+  EXPECT_LT(text.find("sophon_a_total"), text.find("sophon_b_total"));
+}
+
+TEST(Telemetry, CountersAreThreadSafe) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("sophon_mt");
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(Telemetry, ReferencesStayValidAcrossRegistryGrowth) {
+  MetricsRegistry registry;
+  auto& first = registry.counter("sophon_first");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("sophon_other_" + std::to_string(i)).increment();
+  }
+  first.increment();
+  EXPECT_EQ(registry.counter("sophon_first").value(), 1u);
+}
+
+}  // namespace
+}  // namespace sophon

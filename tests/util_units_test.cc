@@ -1,0 +1,73 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace sophon {
+namespace {
+
+TEST(Bytes, ArithmeticAndComparison) {
+  const Bytes a(1000);
+  const Bytes b(24);
+  EXPECT_EQ((a + b).count(), 1024);
+  EXPECT_EQ((a - b).count(), 976);
+  EXPECT_EQ((a * 3).count(), 3000);
+  EXPECT_EQ((3 * a).count(), 3000);
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(a / b, 1000.0 / 24.0);
+}
+
+TEST(Bytes, CompoundAssignment) {
+  Bytes a(10);
+  a += Bytes(5);
+  EXPECT_EQ(a.count(), 15);
+  a -= Bytes(20);
+  EXPECT_EQ(a.count(), -5);
+}
+
+TEST(Bytes, UnitHelpers) {
+  EXPECT_EQ(Bytes::kib(2).count(), 2048);
+  EXPECT_EQ(Bytes::mib(1).count(), 1024 * 1024);
+  EXPECT_EQ(Bytes::gib(1).count(), 1024LL * 1024 * 1024);
+}
+
+TEST(Seconds, ArithmeticAndHelpers) {
+  const Seconds s = Seconds::millis(1500.0);
+  EXPECT_DOUBLE_EQ(s.value(), 1.5);
+  EXPECT_DOUBLE_EQ(Seconds::micros(10.0).value(), 1e-5);
+  EXPECT_DOUBLE_EQ(Seconds::nanos(100.0).value(), 1e-7);
+  EXPECT_DOUBLE_EQ((s * 2.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ((s / 3.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(Seconds(3.0) / Seconds(1.5), 2.0);
+}
+
+TEST(Bandwidth, TransferTime) {
+  const auto bw = Bandwidth::mbps(500.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(), 62.5e6);
+  // 62.5 MB should take exactly one second.
+  EXPECT_DOUBLE_EQ(bw.transfer_time(Bytes(62'500'000)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(1.0).bps(), 1e9);
+}
+
+TEST(HumanFormat, Bytes) {
+  EXPECT_EQ(human_bytes(Bytes(512)), "512.0 B");
+  EXPECT_EQ(human_bytes(Bytes(2048)), "2.0 KiB");
+  EXPECT_EQ(human_bytes(Bytes::mib(3)), "3.0 MiB");
+  EXPECT_EQ(human_bytes(Bytes::gib(2)), "2.0 GiB");
+  EXPECT_EQ(human_bytes(Bytes(-2048)), "-2.0 KiB");
+}
+
+TEST(HumanFormat, Seconds) {
+  EXPECT_EQ(human_seconds(Seconds::nanos(50.0)), "50.0 ns");
+  EXPECT_EQ(human_seconds(Seconds::micros(5.0)), "5.0 us");
+  EXPECT_EQ(human_seconds(Seconds::millis(12.0)), "12.0 ms");
+  EXPECT_EQ(human_seconds(Seconds(90.0)), "90.0 s");
+}
+
+TEST(HumanFormat, Bandwidth) {
+  EXPECT_EQ(human_bandwidth(Bandwidth::mbps(500.0)), "500.0 Mbps");
+  EXPECT_EQ(human_bandwidth(Bandwidth::gbps(1.5)), "1.5 Gbps");
+  EXPECT_EQ(human_bandwidth(Bandwidth::bits_per_sec(2000.0)), "2.0 Kbps");
+}
+
+}  // namespace
+}  // namespace sophon

@@ -1,0 +1,335 @@
+// sophonctl — command-line front end for the SOPHON library.
+//
+//   sophonctl gen-profiles --dataset openimages --samples 40000 --out p.json
+//   sophonctl decide --profiles p.json --mbps 500 --storage-cores 8
+//                    --tg-seconds 14 --out plan.json
+//   sophonctl simulate --dataset openimages --samples 40000 --plan plan.json
+//                      --mbps 500 --storage-cores 8
+//   sophonctl evaluate --dataset imagenet --samples 90000 --mbps 500
+//   sophonctl calibrate --repeats 3 --out coeffs.json
+//   sophonctl ingest --dataset openimages --samples 64 --dir /tmp/ds
+//
+// Every command prints a short report; gen-profiles/decide write JSON
+// artifacts the other commands (and external tooling) can consume.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/decision.h"
+#include "core/profiler.h"
+#include "core/runner.h"
+#include "core/serialize.h"
+#include "net/wire.h"
+#include "sim/trace.h"
+#include "dataset/calibrate.h"
+#include "storage/disk_store.h"
+#include "util/table.h"
+#include "util/telemetry.h"
+
+using namespace sophon;
+
+namespace {
+
+/// --key value flag bag with typed, defaulted lookups.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::string required(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  [[nodiscard]] long integer(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+dataset::DatasetProfile profile_for(const std::string& name, std::size_t samples) {
+  if (name == "openimages") return dataset::openimages_profile(samples);
+  if (name == "imagenet") return dataset::imagenet_profile(samples);
+  std::fprintf(stderr, "unknown dataset '%s' (openimages|imagenet)\n", name.c_str());
+  std::exit(2);
+}
+
+sim::ClusterConfig cluster_from(const Flags& flags) {
+  sim::ClusterConfig cluster;
+  cluster.bandwidth = Bandwidth::mbps(flags.number("mbps", 500.0));
+  cluster.storage_cores = static_cast<int>(flags.integer("storage-cores", 48));
+  cluster.compute_cores = static_cast<int>(flags.integer("compute-cores", 48));
+  cluster.storage_core_speed = flags.number("storage-speed", 1.0);
+  cluster.batch_size = static_cast<std::size_t>(flags.integer("batch-size", 256));
+  return cluster;
+}
+
+int cmd_gen_profiles(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 40000));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto out = flags.required("out");
+
+  MetricsRegistry metrics;
+  const auto catalog = [&] {
+    ScopedTimer timer(metrics.duration("sophonctl_catalog"));
+    return dataset::Catalog::generate(profile_for(name, samples), seed);
+  }();
+  const auto profiles = [&] {
+    ScopedTimer timer(metrics.duration("sophonctl_stage2"));
+    return core::profile_stage2(catalog, pipeline::Pipeline::standard(),
+                                pipeline::CostModel{});
+  }();
+  if (!core::save_json_file(core::profiles_to_json(profiles), out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::size_t beneficial = 0;
+  for (const auto& p : profiles) {
+    if (p.benefits()) ++beneficial;
+  }
+  std::printf("wrote %zu profiles to %s (%zu beneficial, dataset %s at rest)\n",
+              profiles.size(), out.c_str(), beneficial,
+              human_bytes(catalog.total_encoded()).c_str());
+  std::printf("%s", metrics.expose().c_str());
+  return 0;
+}
+
+int cmd_decide(const Flags& flags) {
+  const auto in = flags.required("profiles");
+  const auto out = flags.required("out");
+  const auto loaded = core::load_json_file(in);
+  if (!loaded) {
+    std::fprintf(stderr, "cannot read %s\n", in.c_str());
+    return 1;
+  }
+  const auto profiles = core::profiles_from_json(*loaded);
+  if (!profiles) {
+    std::fprintf(stderr, "%s is not a stage-2 profile artifact\n", in.c_str());
+    return 1;
+  }
+  const auto cluster = cluster_from(flags);
+  const Seconds t_g(flags.number("tg-seconds", 14.0));
+  const auto result = core::decide_offloading(*profiles, cluster, t_g);
+  if (!core::save_json_file(core::plan_to_json(result.plan), out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf(
+      "plan: %zu of %zu samples offloaded (%zu beneficial)\n"
+      "predicted: T_Net %.1fs -> %.1fs, T_CS %.1fs, epoch %.1fs -> %.1fs\nwrote %s\n",
+      result.offloaded, profiles->size(), result.beneficial_candidates,
+      result.baseline.t_net.value(), result.final_cost.t_net.value(),
+      result.final_cost.t_cs.value(), result.baseline.predicted_epoch_time().value(),
+      result.final_cost.predicted_epoch_time().value(), out.c_str());
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 40000));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto catalog = dataset::Catalog::generate(profile_for(name, samples), seed);
+
+  core::OffloadPlan plan(catalog.size());
+  if (const auto path = flags.str("plan", ""); !path.empty()) {
+    const auto loaded = core::load_json_file(path);
+    auto parsed = loaded ? core::plan_from_json(*loaded) : std::nullopt;
+    if (!parsed || parsed->size() != catalog.size()) {
+      std::fprintf(stderr, "plan %s missing or wrong size\n", path.c_str());
+      return 1;
+    }
+    plan = std::move(*parsed);
+  }
+
+  const auto cluster = cluster_from(flags);
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+  const auto stats =
+      sim::simulate_epoch(catalog, pipeline::Pipeline::standard(), pipeline::CostModel{},
+                          cluster, gpu.batch_time(cluster.batch_size), plan.assignment(), seed,
+                          static_cast<std::size_t>(flags.integer("epoch", 0)));
+  std::printf("epoch %.1f s | traffic %s | GPU util %.1f%% | offloaded %zu | storage CPU %.1fs\n",
+              stats.epoch_time.value(), human_bytes(stats.traffic).c_str(),
+              100.0 * stats.gpu_utilization, stats.offloaded_samples,
+              stats.storage_cpu_busy.value());
+  return 0;
+}
+
+int cmd_evaluate(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(
+      flags.integer("samples", name == "imagenet" ? 90000 : 40000));
+  const auto catalog = dataset::Catalog::generate(
+      profile_for(name, samples), static_cast<std::uint64_t>(flags.integer("seed", 42)));
+  core::RunConfig config;
+  config.cluster = cluster_from(flags);
+  const auto results = core::run_all_policies(catalog, pipeline::Pipeline::standard(),
+                                              pipeline::CostModel{}, config);
+  TextTable table({"policy", "epoch time", "traffic", "offloaded"});
+  for (const auto& r : results) {
+    table.add_row({r.name, strf("%.1f s", r.stats.epoch_time.value()),
+                   human_bytes(r.stats.traffic), strf("%zu", r.stats.offloaded_samples)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_trace(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 8000));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto catalog = dataset::Catalog::generate(profile_for(name, samples), seed);
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+  const auto cluster = cluster_from(flags);
+
+  core::OffloadPlan plan(catalog.size());
+  if (const auto path = flags.str("plan", ""); !path.empty()) {
+    const auto loaded = core::load_json_file(path);
+    auto parsed = loaded ? core::plan_from_json(*loaded) : std::nullopt;
+    if (!parsed || parsed->size() != catalog.size()) {
+      std::fprintf(stderr, "plan %s missing or wrong size\n", path.c_str());
+      return 1;
+    }
+    plan = std::move(*parsed);
+  }
+
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+  sim::TraceRecorder recorder;
+  const auto flow = [&](std::size_t idx) {
+    const auto& meta = catalog.sample(idx);
+    const std::size_t prefix = plan.prefix(idx);
+    sim::SampleFlow f;
+    f.storage_cpu = prefix > 0 ? pipe.prefix_cost(meta.raw, prefix, cm) : Seconds(0.0);
+    f.wire = net::wire_size(pipe.shape_at(meta.raw, prefix));
+    f.compute_cpu = pipe.suffix_cost(meta.raw, prefix, cm);
+    return f;
+  };
+  const auto stats = sim::simulate_epoch_flows(catalog.size(), flow, cluster,
+                                               gpu.batch_time(cluster.batch_size), seed, 0,
+                                               recorder.sink());
+  std::printf("epoch %.1f s | traffic %s | mean per-sample latency %s\n",
+              stats.epoch_time.value(), human_bytes(stats.traffic).c_str(),
+              human_seconds(recorder.mean_latency()).c_str());
+  if (const auto out = flags.str("out", ""); !out.empty()) {
+    if (!core::save_json_file(recorder.to_json(), out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu timeline records to %s\n", recorder.size(), out.c_str());
+  }
+  return 0;
+}
+
+int cmd_calibrate(const Flags& flags) {
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 5));
+  const auto repeats = static_cast<int>(flags.integer("repeats", 3));
+  std::vector<dataset::SampleMeta> corpus;
+  for (std::size_t i = 0; i < samples; ++i) {
+    dataset::SampleMeta meta;
+    meta.id = i;
+    const int w = 320 + static_cast<int>(i) * 160;
+    meta.raw = pipeline::SampleShape::encoded(Bytes(1), w, w * 3 / 4, 3);
+    meta.texture = 0.15 + 0.7 * static_cast<double>(i) / static_cast<double>(samples);
+    corpus.push_back(meta);
+  }
+  dataset::CalibrationOptions options;
+  options.repeats = repeats;
+  const auto result = dataset::calibrate_cost_model(corpus, options);
+  const auto& c = result.coefficients;
+  std::printf("fitted coefficients (median relative error %.0f%%):\n",
+              100.0 * result.median_relative_error());
+  std::printf("  decode_ns_per_byte        %.2f\n", c.decode_ns_per_byte);
+  std::printf("  decode_ns_per_pixel       %.2f\n", c.decode_ns_per_pixel);
+  std::printf("  crop_ns_per_src_pixel     %.2f\n", c.crop_ns_per_src_pixel);
+  std::printf("  resize_ns_per_out_pixel   %.2f\n", c.resize_ns_per_out_pixel);
+  std::printf("  flip_ns_per_pixel         %.2f\n", c.flip_ns_per_pixel);
+  std::printf("  to_tensor_ns_per_element  %.2f\n", c.to_tensor_ns_per_element);
+  std::printf("  normalize_ns_per_element  %.2f\n", c.normalize_ns_per_element);
+  if (const auto out = flags.str("out", ""); !out.empty()) {
+    Json json = Json::object();
+    json.set("kind", "sophon.cost_coefficients");
+    json.set("version", 1);
+    json.set("decode_ns_per_byte", c.decode_ns_per_byte);
+    json.set("decode_ns_per_pixel", c.decode_ns_per_pixel);
+    json.set("crop_ns_per_src_pixel", c.crop_ns_per_src_pixel);
+    json.set("resize_ns_per_out_pixel", c.resize_ns_per_out_pixel);
+    json.set("flip_ns_per_pixel", c.flip_ns_per_pixel);
+    json.set("to_tensor_ns_per_element", c.to_tensor_ns_per_element);
+    json.set("normalize_ns_per_element", c.normalize_ns_per_element);
+    if (!core::save_json_file(json, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_ingest(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 64));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto dir = flags.required("dir");
+  auto profile = profile_for(name, samples);
+  // Ingest is real materialisation; keep images modest unless overridden.
+  profile.max_pixels = flags.number("max-pixels", 1.5e6);
+  const auto catalog = dataset::Catalog::generate(profile, seed);
+  storage::DiskStore store{dir};
+  const auto written = store.ingest_catalog(catalog, seed, profile.quality);
+  std::printf("ingested %zu blobs (%s) into %s\n", written,
+              human_bytes(store.stored_bytes()).c_str(), dir.c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sophonctl <command> [--flag value ...]\n"
+               "commands: gen-profiles | decide | simulate | evaluate | ingest | calibrate | trace\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "gen-profiles") return cmd_gen_profiles(flags);
+  if (command == "decide") return cmd_decide(flags);
+  if (command == "simulate") return cmd_simulate(flags);
+  if (command == "evaluate") return cmd_evaluate(flags);
+  if (command == "ingest") return cmd_ingest(flags);
+  if (command == "calibrate") return cmd_calibrate(flags);
+  if (command == "trace") return cmd_trace(flags);
+  usage();
+  return 2;
+}
