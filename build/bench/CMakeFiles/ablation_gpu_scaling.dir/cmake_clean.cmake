@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_scaling.dir/ablation_gpu_scaling.cc.o"
+  "CMakeFiles/ablation_gpu_scaling.dir/ablation_gpu_scaling.cc.o.d"
+  "ablation_gpu_scaling"
+  "ablation_gpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hetero_cpu.dir/ablation_hetero_cpu.cc.o"
+  "CMakeFiles/ablation_hetero_cpu.dir/ablation_hetero_cpu.cc.o.d"
+  "ablation_hetero_cpu"
+  "ablation_hetero_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hetero_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

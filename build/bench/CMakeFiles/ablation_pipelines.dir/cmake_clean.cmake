@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipelines.dir/ablation_pipelines.cc.o"
+  "CMakeFiles/ablation_pipelines.dir/ablation_pipelines.cc.o.d"
+  "ablation_pipelines"
+  "ablation_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

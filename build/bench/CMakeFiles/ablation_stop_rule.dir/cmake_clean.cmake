@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stop_rule.dir/ablation_stop_rule.cc.o"
+  "CMakeFiles/ablation_stop_rule.dir/ablation_stop_rule.cc.o.d"
+  "ablation_stop_rule"
+  "ablation_stop_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stop_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

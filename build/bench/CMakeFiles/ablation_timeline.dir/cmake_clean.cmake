@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timeline.dir/ablation_timeline.cc.o"
+  "CMakeFiles/ablation_timeline.dir/ablation_timeline.cc.o.d"
+  "ablation_timeline"
+  "ablation_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

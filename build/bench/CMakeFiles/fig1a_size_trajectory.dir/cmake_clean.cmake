@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_size_trajectory.dir/fig1a_size_trajectory.cc.o"
+  "CMakeFiles/fig1a_size_trajectory.dir/fig1a_size_trajectory.cc.o.d"
+  "fig1a_size_trajectory"
+  "fig1a_size_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_size_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

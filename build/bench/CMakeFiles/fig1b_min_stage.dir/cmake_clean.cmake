@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_min_stage.dir/fig1b_min_stage.cc.o"
+  "CMakeFiles/fig1b_min_stage.dir/fig1b_min_stage.cc.o.d"
+  "fig1b_min_stage"
+  "fig1b_min_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_min_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_efficiency.dir/fig1c_efficiency.cc.o"
+  "CMakeFiles/fig1c_efficiency.dir/fig1c_efficiency.cc.o.d"
+  "fig1c_efficiency"
+  "fig1c_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

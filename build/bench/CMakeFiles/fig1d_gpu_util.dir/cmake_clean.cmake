@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1d_gpu_util.dir/fig1d_gpu_util.cc.o"
+  "CMakeFiles/fig1d_gpu_util.dir/fig1d_gpu_util.cc.o.d"
+  "fig1d_gpu_util"
+  "fig1d_gpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1d_gpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

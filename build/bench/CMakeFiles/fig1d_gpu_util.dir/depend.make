@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1d_gpu_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_design_walkthrough.dir/fig2_design_walkthrough.cc.o"
+  "CMakeFiles/fig2_design_walkthrough.dir/fig2_design_walkthrough.cc.o.d"
+  "fig2_design_walkthrough"
+  "fig2_design_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_design_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

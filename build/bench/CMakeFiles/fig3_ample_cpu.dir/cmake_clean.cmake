@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ample_cpu.dir/fig3_ample_cpu.cc.o"
+  "CMakeFiles/fig3_ample_cpu.dir/fig3_ample_cpu.cc.o.d"
+  "fig3_ample_cpu"
+  "fig3_ample_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ample_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_limited_cpu.cc" "bench/CMakeFiles/fig4_limited_cpu.dir/fig4_limited_cpu.cc.o" "gcc" "bench/CMakeFiles/fig4_limited_cpu.dir/fig4_limited_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sophon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sophon_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sophon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sophon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sophon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sophon_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sophon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/sophon_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sophon_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

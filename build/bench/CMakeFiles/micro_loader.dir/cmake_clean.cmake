@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_loader.dir/micro_loader.cc.o"
+  "CMakeFiles/micro_loader.dir/micro_loader.cc.o.d"
+  "micro_loader"
+  "micro_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

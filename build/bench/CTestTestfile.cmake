@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1b_smoke "/root/repo/build/bench/fig1b_min_stage")
+set_tests_properties(bench_fig1b_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "75.9% benefit from offloading" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig1d_smoke "/root/repo/build/bench/fig1d_gpu_util")
+set_tests_properties(bench_fig1d_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "99\\.[0-9]%" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table1_smoke "/root/repo/build/bench/table1_matrix")
+set_tests_properties(bench_table1_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "SOPHON      yes                  yes           yes" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_smoke "/root/repo/build/bench/fig3_ample_cpu")
+set_tests_properties(bench_fig3_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "2\\.26x less" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;48;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_plan.dir/calibrate_and_plan.cpp.o"
+  "CMakeFiles/calibrate_and_plan.dir/calibrate_and_plan.cpp.o.d"
+  "calibrate_and_plan"
+  "calibrate_and_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_training_run.dir/full_training_run.cpp.o"
+  "CMakeFiles/full_training_run.dir/full_training_run.cpp.o.d"
+  "full_training_run"
+  "full_training_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_training_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

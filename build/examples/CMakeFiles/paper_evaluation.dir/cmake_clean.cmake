@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_evaluation.dir/paper_evaluation.cpp.o"
+  "CMakeFiles/paper_evaluation.dir/paper_evaluation.cpp.o.d"
+  "paper_evaluation"
+  "paper_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

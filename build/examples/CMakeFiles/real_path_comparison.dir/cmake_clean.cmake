@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_path_comparison.dir/real_path_comparison.cpp.o"
+  "CMakeFiles/real_path_comparison.dir/real_path_comparison.cpp.o.d"
+  "real_path_comparison"
+  "real_path_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_path_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

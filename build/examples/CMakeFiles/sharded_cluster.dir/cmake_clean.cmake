@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_cluster.dir/sharded_cluster.cpp.o"
+  "CMakeFiles/sharded_cluster.dir/sharded_cluster.cpp.o.d"
+  "sharded_cluster"
+  "sharded_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

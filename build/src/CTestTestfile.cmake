@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("codec")
+subdirs("image")
+subdirs("pipeline")
+subdirs("dataset")
+subdirs("net")
+subdirs("storage")
+subdirs("sim")
+subdirs("model")
+subdirs("core")
+subdirs("cache")
+subdirs("loader")

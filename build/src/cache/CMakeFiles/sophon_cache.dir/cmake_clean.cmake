@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_cache.dir/cached_training.cc.o"
+  "CMakeFiles/sophon_cache.dir/cached_training.cc.o.d"
+  "CMakeFiles/sophon_cache.dir/lru.cc.o"
+  "CMakeFiles/sophon_cache.dir/lru.cc.o.d"
+  "libsophon_cache.a"
+  "libsophon_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

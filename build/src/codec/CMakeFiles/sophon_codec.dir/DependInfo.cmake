@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitio.cc" "src/codec/CMakeFiles/sophon_codec.dir/bitio.cc.o" "gcc" "src/codec/CMakeFiles/sophon_codec.dir/bitio.cc.o.d"
+  "/root/repo/src/codec/huffman.cc" "src/codec/CMakeFiles/sophon_codec.dir/huffman.cc.o" "gcc" "src/codec/CMakeFiles/sophon_codec.dir/huffman.cc.o.d"
+  "/root/repo/src/codec/sjpg.cc" "src/codec/CMakeFiles/sophon_codec.dir/sjpg.cc.o" "gcc" "src/codec/CMakeFiles/sophon_codec.dir/sjpg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

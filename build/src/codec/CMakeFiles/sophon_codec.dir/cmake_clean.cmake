@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_codec.dir/bitio.cc.o"
+  "CMakeFiles/sophon_codec.dir/bitio.cc.o.d"
+  "CMakeFiles/sophon_codec.dir/huffman.cc.o"
+  "CMakeFiles/sophon_codec.dir/huffman.cc.o.d"
+  "CMakeFiles/sophon_codec.dir/sjpg.cc.o"
+  "CMakeFiles/sophon_codec.dir/sjpg.cc.o.d"
+  "libsophon_codec.a"
+  "libsophon_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compression.cc" "src/core/CMakeFiles/sophon_core.dir/compression.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/compression.cc.o.d"
+  "/root/repo/src/core/decision.cc" "src/core/CMakeFiles/sophon_core.dir/decision.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/decision.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/sophon_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/multitenant.cc" "src/core/CMakeFiles/sophon_core.dir/multitenant.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/multitenant.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/sophon_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/sophon_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/sophon_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/reuse.cc" "src/core/CMakeFiles/sophon_core.dir/reuse.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/reuse.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/sophon_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/sophon_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/sophon_core.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/sophon_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sophon_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sophon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sophon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sophon_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sophon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sophon_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

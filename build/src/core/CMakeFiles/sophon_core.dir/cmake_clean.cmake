@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_core.dir/compression.cc.o"
+  "CMakeFiles/sophon_core.dir/compression.cc.o.d"
+  "CMakeFiles/sophon_core.dir/decision.cc.o"
+  "CMakeFiles/sophon_core.dir/decision.cc.o.d"
+  "CMakeFiles/sophon_core.dir/metrics.cc.o"
+  "CMakeFiles/sophon_core.dir/metrics.cc.o.d"
+  "CMakeFiles/sophon_core.dir/multitenant.cc.o"
+  "CMakeFiles/sophon_core.dir/multitenant.cc.o.d"
+  "CMakeFiles/sophon_core.dir/plan.cc.o"
+  "CMakeFiles/sophon_core.dir/plan.cc.o.d"
+  "CMakeFiles/sophon_core.dir/policy.cc.o"
+  "CMakeFiles/sophon_core.dir/policy.cc.o.d"
+  "CMakeFiles/sophon_core.dir/profiler.cc.o"
+  "CMakeFiles/sophon_core.dir/profiler.cc.o.d"
+  "CMakeFiles/sophon_core.dir/reuse.cc.o"
+  "CMakeFiles/sophon_core.dir/reuse.cc.o.d"
+  "CMakeFiles/sophon_core.dir/runner.cc.o"
+  "CMakeFiles/sophon_core.dir/runner.cc.o.d"
+  "CMakeFiles/sophon_core.dir/serialize.cc.o"
+  "CMakeFiles/sophon_core.dir/serialize.cc.o.d"
+  "libsophon_core.a"
+  "libsophon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

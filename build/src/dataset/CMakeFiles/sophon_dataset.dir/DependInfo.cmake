@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/calibrate.cc" "src/dataset/CMakeFiles/sophon_dataset.dir/calibrate.cc.o" "gcc" "src/dataset/CMakeFiles/sophon_dataset.dir/calibrate.cc.o.d"
+  "/root/repo/src/dataset/catalog.cc" "src/dataset/CMakeFiles/sophon_dataset.dir/catalog.cc.o" "gcc" "src/dataset/CMakeFiles/sophon_dataset.dir/catalog.cc.o.d"
+  "/root/repo/src/dataset/profile.cc" "src/dataset/CMakeFiles/sophon_dataset.dir/profile.cc.o" "gcc" "src/dataset/CMakeFiles/sophon_dataset.dir/profile.cc.o.d"
+  "/root/repo/src/dataset/sampler.cc" "src/dataset/CMakeFiles/sophon_dataset.dir/sampler.cc.o" "gcc" "src/dataset/CMakeFiles/sophon_dataset.dir/sampler.cc.o.d"
+  "/root/repo/src/dataset/synth.cc" "src/dataset/CMakeFiles/sophon_dataset.dir/synth.cc.o" "gcc" "src/dataset/CMakeFiles/sophon_dataset.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sophon_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/sophon_pipeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

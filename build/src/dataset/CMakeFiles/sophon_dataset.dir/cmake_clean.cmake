@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_dataset.dir/calibrate.cc.o"
+  "CMakeFiles/sophon_dataset.dir/calibrate.cc.o.d"
+  "CMakeFiles/sophon_dataset.dir/catalog.cc.o"
+  "CMakeFiles/sophon_dataset.dir/catalog.cc.o.d"
+  "CMakeFiles/sophon_dataset.dir/profile.cc.o"
+  "CMakeFiles/sophon_dataset.dir/profile.cc.o.d"
+  "CMakeFiles/sophon_dataset.dir/sampler.cc.o"
+  "CMakeFiles/sophon_dataset.dir/sampler.cc.o.d"
+  "CMakeFiles/sophon_dataset.dir/synth.cc.o"
+  "CMakeFiles/sophon_dataset.dir/synth.cc.o.d"
+  "libsophon_dataset.a"
+  "libsophon_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

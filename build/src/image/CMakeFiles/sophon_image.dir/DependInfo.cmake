@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/color.cc" "src/image/CMakeFiles/sophon_image.dir/color.cc.o" "gcc" "src/image/CMakeFiles/sophon_image.dir/color.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/image/CMakeFiles/sophon_image.dir/image.cc.o" "gcc" "src/image/CMakeFiles/sophon_image.dir/image.cc.o.d"
+  "/root/repo/src/image/ops.cc" "src/image/CMakeFiles/sophon_image.dir/ops.cc.o" "gcc" "src/image/CMakeFiles/sophon_image.dir/ops.cc.o.d"
+  "/root/repo/src/image/tensor.cc" "src/image/CMakeFiles/sophon_image.dir/tensor.cc.o" "gcc" "src/image/CMakeFiles/sophon_image.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

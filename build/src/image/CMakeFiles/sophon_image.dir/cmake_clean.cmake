@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_image.dir/color.cc.o"
+  "CMakeFiles/sophon_image.dir/color.cc.o.d"
+  "CMakeFiles/sophon_image.dir/image.cc.o"
+  "CMakeFiles/sophon_image.dir/image.cc.o.d"
+  "CMakeFiles/sophon_image.dir/ops.cc.o"
+  "CMakeFiles/sophon_image.dir/ops.cc.o.d"
+  "CMakeFiles/sophon_image.dir/tensor.cc.o"
+  "CMakeFiles/sophon_image.dir/tensor.cc.o.d"
+  "libsophon_image.a"
+  "libsophon_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

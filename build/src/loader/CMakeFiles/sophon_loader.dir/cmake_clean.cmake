@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_loader.dir/loader.cc.o"
+  "CMakeFiles/sophon_loader.dir/loader.cc.o.d"
+  "libsophon_loader.a"
+  "libsophon_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_model.dir/gpu_model.cc.o"
+  "CMakeFiles/sophon_model.dir/gpu_model.cc.o.d"
+  "libsophon_model.a"
+  "libsophon_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

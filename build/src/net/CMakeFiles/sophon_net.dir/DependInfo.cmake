@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/sophon_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/sophon_net.dir/link.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/sophon_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/sophon_net.dir/rpc.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/sophon_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/sophon_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/sophon_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sophon_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_net.dir/link.cc.o"
+  "CMakeFiles/sophon_net.dir/link.cc.o.d"
+  "CMakeFiles/sophon_net.dir/rpc.cc.o"
+  "CMakeFiles/sophon_net.dir/rpc.cc.o.d"
+  "CMakeFiles/sophon_net.dir/wire.cc.o"
+  "CMakeFiles/sophon_net.dir/wire.cc.o.d"
+  "libsophon_net.a"
+  "libsophon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

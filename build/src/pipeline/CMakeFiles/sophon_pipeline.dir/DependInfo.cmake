@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/cost_model.cc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/cost_model.cc.o" "gcc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/cost_model.cc.o.d"
+  "/root/repo/src/pipeline/extra_ops.cc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/extra_ops.cc.o" "gcc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/extra_ops.cc.o.d"
+  "/root/repo/src/pipeline/ops.cc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/ops.cc.o" "gcc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/ops.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/pipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/sample.cc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/sample.cc.o" "gcc" "src/pipeline/CMakeFiles/sophon_pipeline.dir/sample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sophon_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_pipeline.dir/cost_model.cc.o"
+  "CMakeFiles/sophon_pipeline.dir/cost_model.cc.o.d"
+  "CMakeFiles/sophon_pipeline.dir/extra_ops.cc.o"
+  "CMakeFiles/sophon_pipeline.dir/extra_ops.cc.o.d"
+  "CMakeFiles/sophon_pipeline.dir/ops.cc.o"
+  "CMakeFiles/sophon_pipeline.dir/ops.cc.o.d"
+  "CMakeFiles/sophon_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/sophon_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/sophon_pipeline.dir/sample.cc.o"
+  "CMakeFiles/sophon_pipeline.dir/sample.cc.o.d"
+  "libsophon_pipeline.a"
+  "libsophon_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

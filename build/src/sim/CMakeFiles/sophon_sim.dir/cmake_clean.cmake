@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_sim.dir/multijob.cc.o"
+  "CMakeFiles/sophon_sim.dir/multijob.cc.o.d"
+  "CMakeFiles/sophon_sim.dir/resources.cc.o"
+  "CMakeFiles/sophon_sim.dir/resources.cc.o.d"
+  "CMakeFiles/sophon_sim.dir/trace.cc.o"
+  "CMakeFiles/sophon_sim.dir/trace.cc.o.d"
+  "CMakeFiles/sophon_sim.dir/trainer.cc.o"
+  "CMakeFiles/sophon_sim.dir/trainer.cc.o.d"
+  "libsophon_sim.a"
+  "libsophon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

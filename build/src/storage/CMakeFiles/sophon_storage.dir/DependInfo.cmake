@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob_source.cc" "src/storage/CMakeFiles/sophon_storage.dir/blob_source.cc.o" "gcc" "src/storage/CMakeFiles/sophon_storage.dir/blob_source.cc.o.d"
+  "/root/repo/src/storage/dataset_store.cc" "src/storage/CMakeFiles/sophon_storage.dir/dataset_store.cc.o" "gcc" "src/storage/CMakeFiles/sophon_storage.dir/dataset_store.cc.o.d"
+  "/root/repo/src/storage/disk_store.cc" "src/storage/CMakeFiles/sophon_storage.dir/disk_store.cc.o" "gcc" "src/storage/CMakeFiles/sophon_storage.dir/disk_store.cc.o.d"
+  "/root/repo/src/storage/router.cc" "src/storage/CMakeFiles/sophon_storage.dir/router.cc.o" "gcc" "src/storage/CMakeFiles/sophon_storage.dir/router.cc.o.d"
+  "/root/repo/src/storage/server.cc" "src/storage/CMakeFiles/sophon_storage.dir/server.cc.o" "gcc" "src/storage/CMakeFiles/sophon_storage.dir/server.cc.o.d"
+  "/root/repo/src/storage/sharding.cc" "src/storage/CMakeFiles/sophon_storage.dir/sharding.cc.o" "gcc" "src/storage/CMakeFiles/sophon_storage.dir/sharding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sophon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sophon_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sophon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/sophon_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sophon_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sophon_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_storage.dir/blob_source.cc.o"
+  "CMakeFiles/sophon_storage.dir/blob_source.cc.o.d"
+  "CMakeFiles/sophon_storage.dir/dataset_store.cc.o"
+  "CMakeFiles/sophon_storage.dir/dataset_store.cc.o.d"
+  "CMakeFiles/sophon_storage.dir/disk_store.cc.o"
+  "CMakeFiles/sophon_storage.dir/disk_store.cc.o.d"
+  "CMakeFiles/sophon_storage.dir/router.cc.o"
+  "CMakeFiles/sophon_storage.dir/router.cc.o.d"
+  "CMakeFiles/sophon_storage.dir/server.cc.o"
+  "CMakeFiles/sophon_storage.dir/server.cc.o.d"
+  "CMakeFiles/sophon_storage.dir/sharding.cc.o"
+  "CMakeFiles/sophon_storage.dir/sharding.cc.o.d"
+  "libsophon_storage.a"
+  "libsophon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

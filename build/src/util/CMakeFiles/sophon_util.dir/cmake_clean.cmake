@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophon_util.dir/histogram.cc.o"
+  "CMakeFiles/sophon_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sophon_util.dir/json.cc.o"
+  "CMakeFiles/sophon_util.dir/json.cc.o.d"
+  "CMakeFiles/sophon_util.dir/rng.cc.o"
+  "CMakeFiles/sophon_util.dir/rng.cc.o.d"
+  "CMakeFiles/sophon_util.dir/stats.cc.o"
+  "CMakeFiles/sophon_util.dir/stats.cc.o.d"
+  "CMakeFiles/sophon_util.dir/table.cc.o"
+  "CMakeFiles/sophon_util.dir/table.cc.o.d"
+  "CMakeFiles/sophon_util.dir/telemetry.cc.o"
+  "CMakeFiles/sophon_util.dir/telemetry.cc.o.d"
+  "CMakeFiles/sophon_util.dir/units.cc.o"
+  "CMakeFiles/sophon_util.dir/units.cc.o.d"
+  "libsophon_util.a"
+  "libsophon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_training_test.dir/cache_training_test.cc.o"
+  "CMakeFiles/cache_training_test.dir/cache_training_test.cc.o.d"
+  "cache_training_test"
+  "cache_training_test.pdb"
+  "cache_training_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

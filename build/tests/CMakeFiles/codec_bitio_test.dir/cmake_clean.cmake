@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_bitio_test.dir/codec_bitio_test.cc.o"
+  "CMakeFiles/codec_bitio_test.dir/codec_bitio_test.cc.o.d"
+  "codec_bitio_test"
+  "codec_bitio_test.pdb"
+  "codec_bitio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_bitio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

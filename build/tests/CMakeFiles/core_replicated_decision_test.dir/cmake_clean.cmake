@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_replicated_decision_test.dir/core_replicated_decision_test.cc.o"
+  "CMakeFiles/core_replicated_decision_test.dir/core_replicated_decision_test.cc.o.d"
+  "core_replicated_decision_test"
+  "core_replicated_decision_test.pdb"
+  "core_replicated_decision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_replicated_decision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

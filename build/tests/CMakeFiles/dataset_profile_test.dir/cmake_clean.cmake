@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_profile_test.dir/dataset_profile_test.cc.o"
+  "CMakeFiles/dataset_profile_test.dir/dataset_profile_test.cc.o.d"
+  "dataset_profile_test"
+  "dataset_profile_test.pdb"
+  "dataset_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_sampler_test.dir/dataset_sampler_test.cc.o"
+  "CMakeFiles/dataset_sampler_test.dir/dataset_sampler_test.cc.o.d"
+  "dataset_sampler_test"
+  "dataset_sampler_test.pdb"
+  "dataset_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

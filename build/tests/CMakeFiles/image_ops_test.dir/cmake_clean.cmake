@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_ops_test.dir/image_ops_test.cc.o"
+  "CMakeFiles/image_ops_test.dir/image_ops_test.cc.o.d"
+  "image_ops_test"
+  "image_ops_test.pdb"
+  "image_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

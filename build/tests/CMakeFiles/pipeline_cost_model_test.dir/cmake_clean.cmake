@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_cost_model_test.dir/pipeline_cost_model_test.cc.o"
+  "CMakeFiles/pipeline_cost_model_test.dir/pipeline_cost_model_test.cc.o.d"
+  "pipeline_cost_model_test"
+  "pipeline_cost_model_test.pdb"
+  "pipeline_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

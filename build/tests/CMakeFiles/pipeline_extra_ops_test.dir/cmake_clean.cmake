@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_extra_ops_test.dir/pipeline_extra_ops_test.cc.o"
+  "CMakeFiles/pipeline_extra_ops_test.dir/pipeline_extra_ops_test.cc.o.d"
+  "pipeline_extra_ops_test"
+  "pipeline_extra_ops_test.pdb"
+  "pipeline_extra_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_extra_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sample_test.dir/pipeline_sample_test.cc.o"
+  "CMakeFiles/pipeline_sample_test.dir/pipeline_sample_test.cc.o.d"
+  "pipeline_sample_test"
+  "pipeline_sample_test.pdb"
+  "pipeline_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

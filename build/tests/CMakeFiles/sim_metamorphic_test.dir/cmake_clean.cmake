@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_metamorphic_test.dir/sim_metamorphic_test.cc.o"
+  "CMakeFiles/sim_metamorphic_test.dir/sim_metamorphic_test.cc.o.d"
+  "sim_metamorphic_test"
+  "sim_metamorphic_test.pdb"
+  "sim_metamorphic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_multijob_test.dir/sim_multijob_test.cc.o"
+  "CMakeFiles/sim_multijob_test.dir/sim_multijob_test.cc.o.d"
+  "sim_multijob_test"
+  "sim_multijob_test.pdb"
+  "sim_multijob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_multijob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_resources_test.dir/sim_resources_test.cc.o"
+  "CMakeFiles/sim_resources_test.dir/sim_resources_test.cc.o.d"
+  "sim_resources_test"
+  "sim_resources_test.pdb"
+  "sim_resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sharded_test.dir/sim_sharded_test.cc.o"
+  "CMakeFiles/sim_sharded_test.dir/sim_sharded_test.cc.o.d"
+  "sim_sharded_test"
+  "sim_sharded_test.pdb"
+  "sim_sharded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sharded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

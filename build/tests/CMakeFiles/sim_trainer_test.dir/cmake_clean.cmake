@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_trainer_test.dir/sim_trainer_test.cc.o"
+  "CMakeFiles/sim_trainer_test.dir/sim_trainer_test.cc.o.d"
+  "sim_trainer_test"
+  "sim_trainer_test.pdb"
+  "sim_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

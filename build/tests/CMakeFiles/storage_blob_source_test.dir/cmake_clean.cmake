@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_blob_source_test.dir/storage_blob_source_test.cc.o"
+  "CMakeFiles/storage_blob_source_test.dir/storage_blob_source_test.cc.o.d"
+  "storage_blob_source_test"
+  "storage_blob_source_test.pdb"
+  "storage_blob_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_blob_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_sharding_test.dir/storage_sharding_test.cc.o"
+  "CMakeFiles/storage_sharding_test.dir/storage_sharding_test.cc.o.d"
+  "storage_sharding_test"
+  "storage_sharding_test.pdb"
+  "storage_sharding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_sharding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

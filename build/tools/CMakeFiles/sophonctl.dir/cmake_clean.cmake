@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sophonctl.dir/sophonctl.cc.o"
+  "CMakeFiles/sophonctl.dir/sophonctl.cc.o.d"
+  "sophonctl"
+  "sophonctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sophonctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

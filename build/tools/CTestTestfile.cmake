@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_roundtrip "bash" "-c" "set -e; d=\$(mktemp -d); trap 'rm -rf \$d' EXIT;     /root/repo/build/tools/sophonctl gen-profiles --dataset openimages --samples 2000 --out \$d/p.json;     /root/repo/build/tools/sophonctl decide --profiles \$d/p.json --mbps 100 --storage-cores 4 --tg-seconds 1 --out \$d/plan.json;     /root/repo/build/tools/sophonctl simulate --dataset openimages --samples 2000 --plan \$d/plan.json --mbps 100 --storage-cores 4")
+set_tests_properties(cli_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "offloaded" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/sophonctl" "evaluate" "--dataset" "imagenet" "--samples" "5000" "--mbps" "100")
+set_tests_properties(cli_evaluate PROPERTIES  PASS_REGULAR_EXPRESSION "SOPHON" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build/tools/sophonctl" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
