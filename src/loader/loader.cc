@@ -1,5 +1,7 @@
 #include "loader/loader.h"
 
+#include <utility>
+
 #include "dataset/sampler.h"
 #include "net/wire.h"
 #include "storage/server.h"
@@ -18,6 +20,11 @@ DataLoader::DataLoader(net::StorageService& service, const pipeline::Pipeline& p
   SOPHON_CHECK(options.num_workers >= 1);
   SOPHON_CHECK(options.queue_capacity >= 1);
   SOPHON_CHECK(plan.size() == 0 || plan.size() == num_samples);
+  if (options.metrics != nullptr) {
+    // Pre-register so scrapes see explicit zeros before the first failure.
+    static_cast<void>(options.metrics->counter("sophon_degraded_samples"));
+    static_cast<void>(options.metrics->counter("sophon_loader_fetch_errors"));
+  }
   order_ = dataset::EpochOrder(num_samples, options.seed, options.epoch).order();
 }
 
@@ -42,6 +49,25 @@ void DataLoader::start() {
   }
 }
 
+std::pair<net::FetchResponse, bool> DataLoader::fetch_with_degradation(
+    net::FetchRequest request) {
+  try {
+    return {service_.fetch(request), false};
+  } catch (const net::FetchError&) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("sophon_loader_fetch_errors").increment();
+    }
+    const bool offloaded =
+        request.directive.prefix_len > 0 || request.directive.compress_quality > 0;
+    if (!options_.degrade_on_failure || !offloaded) throw;
+    // Demote to "raw bytes, full local pipeline": the raw read path of a
+    // storage node usually survives a struggling preprocessing engine, so
+    // the epoch keeps moving at the cost of this sample's traffic savings.
+    request.directive = net::OffloadDirective{};
+    return {service_.fetch(request), true};
+  }
+}
+
 void DataLoader::worker_loop() {
   for (;;) {
     std::size_t position;
@@ -50,50 +76,70 @@ void DataLoader::worker_loop() {
       if (stopping_ || next_position_ >= num_samples_) return;
       position = next_position_++;
     }
-    const std::uint64_t sample_id = order_[position];
-    const std::size_t prefix = plan_.size() == 0 ? 0 : plan_.prefix(sample_id);
+    try {
+      const std::uint64_t sample_id = order_[position];
+      const std::size_t prefix = plan_.size() == 0 ? 0 : plan_.prefix(sample_id);
 
-    net::FetchRequest request;
-    request.sample_id = sample_id;
-    request.epoch = options_.epoch;
-    request.position = position;
-    request.directive.prefix_len = static_cast<std::uint8_t>(prefix);
-    if (prefix > 0) request.directive.compress_quality = options_.compress_quality;
-    auto response = service_.fetch(request);
+      net::FetchRequest request;
+      request.sample_id = sample_id;
+      request.epoch = options_.epoch;
+      request.position = position;
+      request.directive.prefix_len = static_cast<std::uint8_t>(prefix);
+      if (prefix > 0) request.directive.compress_quality = options_.compress_quality;
+      auto [response, degraded] = fetch_with_degradation(request);
 
-    auto payload = net::unpack_response(response);
-    SOPHON_CHECK_MSG(payload.has_value(), "malformed fetch response");
-    auto finished = pipeline_.run_seeded(
-        std::move(*payload), response.stage, pipeline_.size(),
-        storage::augmentation_seed(options_.seed, options_.epoch, sample_id));
+      auto payload = net::unpack_response(response);
+      SOPHON_CHECK_MSG(payload.has_value(), "malformed fetch response");
+      auto finished = pipeline_.run_seeded(
+          std::move(*payload), response.stage, pipeline_.size(),
+          storage::augmentation_seed(options_.seed, options_.epoch, sample_id));
 
-    LoadedSample item;
-    item.sample_id = sample_id;
-    item.position = position;
-    item.wire_bytes = response.wire_bytes();
-    item.tensor = std::get<image::Tensor>(std::move(finished));
+      LoadedSample item;
+      item.sample_id = sample_id;
+      item.position = position;
+      item.wire_bytes = response.wire_bytes();
+      item.degraded = degraded;
+      item.tensor = std::get<image::Tensor>(std::move(finished));
+      if (degraded && options_.metrics != nullptr) {
+        options_.metrics->counter("sophon_degraded_samples").increment();
+      }
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (options_.ordered) {
-      // The position the consumer waits for must always be admitted, or a
-      // buffer full of later positions would deadlock the pipeline.
-      queue_not_full_.wait(lock, [this, &item] {
-        return stopping_ || reorder_.size() < options_.queue_capacity ||
-               item.position == next_deliver_;
-      });
-      if (stopping_) return;
-      traffic_ += item.wire_bytes;
-      reorder_.emplace(item.position, std::move(item));
-    } else {
-      queue_not_full_.wait(
-          lock, [this] { return stopping_ || queue_.size() < options_.queue_capacity; });
-      if (stopping_) return;
-      traffic_ += item.wire_bytes;
-      queue_.push_back(std::move(item));
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (options_.ordered) {
+        // The position the consumer waits for must always be admitted, or a
+        // buffer full of later positions would deadlock the pipeline.
+        queue_not_full_.wait(lock, [this, &item] {
+          return stopping_ || reorder_.size() < options_.queue_capacity ||
+                 item.position == next_deliver_;
+        });
+        if (stopping_) return;
+        traffic_ += item.wire_bytes;
+        if (item.degraded) ++degraded_;
+        reorder_.emplace(item.position, std::move(item));
+      } else {
+        queue_not_full_.wait(
+            lock, [this] { return stopping_ || queue_.size() < options_.queue_capacity; });
+        if (stopping_) return;
+        traffic_ += item.wire_bytes;
+        if (item.degraded) ++degraded_;
+        queue_.push_back(std::move(item));
+      }
+      ++produced_;
+      lock.unlock();
+      queue_not_empty_.notify_all();
+    } catch (...) {
+      // A sample failed even after degradation (or the payload was
+      // unusable). Surface the error through next() rather than leaving the
+      // consumer blocked on a sample that will never arrive.
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!failure_) failure_ = std::current_exception();
+        stopping_ = true;
+      }
+      queue_not_full_.notify_all();
+      queue_not_empty_.notify_all();
+      return;
     }
-    ++produced_;
-    lock.unlock();
-    queue_not_empty_.notify_all();
   }
 }
 
@@ -104,6 +150,7 @@ std::optional<LoadedSample> DataLoader::next() {
     queue_not_empty_.wait(lock, [this] {
       return stopping_ || reorder_.contains(next_deliver_) || delivered_ >= num_samples_;
     });
+    if (failure_) std::rethrow_exception(failure_);
     const auto it = reorder_.find(next_deliver_);
     if (it == reorder_.end()) return std::nullopt;  // exhausted (or stopping)
     LoadedSample item = std::move(it->second);
@@ -117,6 +164,7 @@ std::optional<LoadedSample> DataLoader::next() {
   queue_not_empty_.wait(lock, [this] {
     return stopping_ || !queue_.empty() || delivered_ + queue_.size() >= num_samples_;
   });
+  if (failure_) std::rethrow_exception(failure_);
   if (queue_.empty()) return std::nullopt;  // epoch exhausted (or stopping)
   LoadedSample item = std::move(queue_.front());
   queue_.pop_front();
@@ -129,6 +177,11 @@ std::optional<LoadedSample> DataLoader::next() {
 Bytes DataLoader::traffic() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return traffic_;
+}
+
+std::uint64_t DataLoader::degraded_samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
 }
 
 }  // namespace sophon::loader

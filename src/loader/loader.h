@@ -7,11 +7,21 @@
 // queue. Augmentation uses the shared (seed, epoch, sample) streams, so the
 // produced tensors are bit-identical to single-threaded execution — worker
 // count only changes delivery order, never content.
+//
+// Failure handling: when a fetch throws net::FetchError (after the
+// resilience layer's retries, if one is wired in), the worker degrades
+// gracefully — it demotes the sample's offload directive to "raw bytes, full
+// local pipeline" and re-fetches, so a struggling storage-side preprocessing
+// engine costs traffic savings instead of stalling the epoch. Degraded
+// samples are still bit-identical (cut-invariant augmentation). Only when
+// the raw fetch also fails does the loader stop; the error then surfaces as
+// an exception from next() instead of a wedged worker thread.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -22,6 +32,7 @@
 #include "image/tensor.h"
 #include "net/rpc.h"
 #include "pipeline/pipeline.h"
+#include "util/telemetry.h"
 
 namespace sophon::loader {
 
@@ -31,6 +42,7 @@ struct LoadedSample {
   std::size_t position = 0;  // index within the epoch's visit order
   image::Tensor tensor;
   Bytes wire_bytes;  // what its fetch cost on the link
+  bool degraded = false;  // fetched raw after its offloaded fetch failed
 };
 
 class DataLoader {
@@ -47,6 +59,13 @@ class DataLoader {
     /// early-finished samples; the buffer may briefly exceed
     /// queue_capacity to guarantee progress). Default: completion order.
     bool ordered = false;
+    /// On a failed offloaded fetch, retry the sample with a raw directive
+    /// (prefix 0, no compression) before giving up on the epoch.
+    bool degrade_on_failure = true;
+    /// Optional telemetry: reports sophon_degraded_samples and
+    /// sophon_loader_fetch_errors counters (registry must outlive the
+    /// loader).
+    MetricsRegistry* metrics = nullptr;
   };
 
   /// Borrows everything; keep service/pipeline/plan alive while loading.
@@ -66,14 +85,22 @@ class DataLoader {
 
   /// Block for the next ready sample; nullopt once the epoch is exhausted.
   /// Samples arrive in completion order, or in epoch-position order when
-  /// Options::ordered is set.
+  /// Options::ordered is set. Rethrows a worker's failure (e.g. a fetch
+  /// that kept failing even after degradation) instead of hanging.
   [[nodiscard]] std::optional<LoadedSample> next();
 
   /// Total response bytes fetched so far.
   [[nodiscard]] Bytes traffic() const;
 
+  /// Samples delivered via the raw-fetch fallback so far.
+  [[nodiscard]] std::uint64_t degraded_samples() const;
+
  private:
   void worker_loop();
+  /// Fetch + unpack, degrading the directive to raw on FetchError. The
+  /// returned flag records whether degradation happened.
+  [[nodiscard]] std::pair<net::FetchResponse, bool> fetch_with_degradation(
+      net::FetchRequest request);
 
   net::StorageService& service_;
   const pipeline::Pipeline& pipeline_;
@@ -95,6 +122,8 @@ class DataLoader {
   std::size_t delivered_ = 0;       // items handed to next()
   std::size_t produced_ = 0;        // items pushed by workers
   Bytes traffic_;
+  std::uint64_t degraded_ = 0;
+  std::exception_ptr failure_;      // first worker failure, rethrown by next()
   bool stopping_ = false;
 };
 

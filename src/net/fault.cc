@@ -1,0 +1,116 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::net {
+namespace {
+
+/// One deterministic uniform draw in [0, 1) from a label and up to three keys.
+double draw(std::uint64_t seed, std::string_view label, std::uint64_t a, std::uint64_t b = 0,
+            std::uint64_t c = 0) {
+  Rng rng(derive_seed(derive_seed(derive_seed(derive_seed(seed, label), a), b), c));
+  return rng.uniform();
+}
+
+void check_probability(double p) { SOPHON_CHECK(p >= 0.0 && p <= 1.0); }
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultProfile profile) : profile_(profile) {
+  check_probability(profile.transient_fail_prob);
+  check_probability(profile.permanent_fail_prob);
+  check_probability(profile.corrupt_prob);
+  check_probability(profile.latency_spike_prob);
+  check_probability(profile.bandwidth_dip_prob);
+  SOPHON_CHECK(profile.latency_spike.value() >= 0.0);
+  SOPHON_CHECK(profile.bandwidth_dip_factor >= 1.0);
+}
+
+bool FaultInjector::enabled() const {
+  return profile_.transient_fail_prob > 0.0 || profile_.permanent_fail_prob > 0.0 ||
+         profile_.corrupt_prob > 0.0 || profile_.latency_spike_prob > 0.0 ||
+         profile_.bandwidth_dip_prob > 0.0;
+}
+
+FaultKind FaultInjector::fetch_fault(std::uint64_t sample_id, std::uint64_t epoch,
+                                     std::uint32_t attempt, bool offloaded) const {
+  if (profile_.offload_only && !offloaded) return FaultKind::kNone;
+  // Permanent faults are per sample: once broken, every attempt fails.
+  if (draw(profile_.seed, "permanent-fail", sample_id) < profile_.permanent_fail_prob) {
+    return FaultKind::kPermanent;
+  }
+  if (draw(profile_.seed, "corrupt", sample_id, epoch, attempt) < profile_.corrupt_prob) {
+    return FaultKind::kCorrupt;
+  }
+  if (draw(profile_.seed, "transient-fail", sample_id, epoch, attempt) <
+      profile_.transient_fail_prob) {
+    return FaultKind::kTransient;
+  }
+  return FaultKind::kNone;
+}
+
+LinkFault FaultInjector::link_fault(std::uint64_t transfer_index) const {
+  LinkFault fault;
+  if (draw(profile_.seed, "latency-spike", transfer_index) < profile_.latency_spike_prob) {
+    fault.extra_latency = profile_.latency_spike;
+  }
+  if (draw(profile_.seed, "bandwidth-dip", transfer_index) < profile_.bandwidth_dip_prob) {
+    fault.bandwidth_factor = profile_.bandwidth_dip_factor;
+  }
+  return fault;
+}
+
+FaultyStorageService::FaultyStorageService(StorageService& inner, const FaultInjector& faults)
+    : inner_(inner), faults_(faults) {}
+
+FetchResponse FaultyStorageService::fetch(const FetchRequest& request) {
+  std::uint32_t attempt;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t key = derive_seed(request.epoch, request.sample_id);
+    attempt = attempts_[key]++;
+  }
+  const bool offloaded = request.directive.prefix_len > 0;
+  switch (faults_.fetch_fault(request.sample_id, request.epoch, attempt, offloaded)) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kTransient: {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++failures_;
+      throw FetchError(FetchError::Kind::kTransient, "injected transient fetch failure");
+    }
+    case FaultKind::kPermanent: {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++failures_;
+      throw FetchError(FetchError::Kind::kPermanent, "injected permanent fetch failure");
+    }
+    case FaultKind::kCorrupt: {
+      auto response = inner_.fetch(request);
+      // Mangle the frame so validation must reject it: truncate below the
+      // minimum frame size and flip what remains.
+      response.payload.resize(std::min<std::size_t>(response.payload.size(), 3));
+      for (auto& byte : response.payload) byte ^= 0xA5;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++corruptions_;
+      }
+      return response;
+    }
+  }
+  return inner_.fetch(request);
+}
+
+std::uint64_t FaultyStorageService::injected_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+std::uint64_t FaultyStorageService::injected_corruptions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return corruptions_;
+}
+
+}  // namespace sophon::net

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the fetch path.
+//
+// A FaultInjector is a seeded policy object that decides, purely from stable
+// keys (sample id, epoch, attempt number, link-transfer index), which fetch
+// attempts fail and which link transfers degrade. Because every decision is a
+// hash of (seed, keys) — never of wall clock or thread interleaving — a fault
+// scenario replays bit-identically across runs, worker counts, and between
+// the real RPC path and the discrete-event simulator. SimLink consults it for
+// latency spikes and bandwidth dips; FaultyStorageService consults it to turn
+// fetches into transient/permanent errors or corrupted payloads; the sim-side
+// replay hook (sim::faulty_flow) consults the same draws to quantify
+// epoch-time impact of an identical fault trace.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/rpc.h"
+#include "util/units.h"
+
+namespace sophon::net {
+
+/// What the injector did to one fetch attempt.
+enum class FaultKind : std::uint8_t {
+  kNone,       // attempt succeeds
+  kTransient,  // attempt fails; a retry may succeed
+  kPermanent,  // every attempt for this sample fails (sticky per sample)
+  kCorrupt,    // attempt returns a mangled payload (detectable, retryable)
+};
+
+/// The fault scenario: independent per-attempt probabilities plus link
+/// degradation. All draws are derived from `seed`; the same profile + seed
+/// always produces the same fault trace.
+struct FaultProfile {
+  double transient_fail_prob = 0.0;  // per attempt
+  double permanent_fail_prob = 0.0;  // per sample (sticky across attempts)
+  double corrupt_prob = 0.0;         // per attempt
+  /// When set, fetch faults only hit offloaded requests (prefix_len > 0) —
+  /// models a storage node whose preprocessing engine is struggling while
+  /// its raw read path stays healthy (the degradation escape hatch).
+  bool offload_only = false;
+
+  double latency_spike_prob = 0.0;   // per link transfer
+  Seconds latency_spike = Seconds::millis(50.0);
+  double bandwidth_dip_prob = 0.0;   // per link transfer
+  double bandwidth_dip_factor = 4.0;  // transfer-time multiplier (>= 1)
+
+  std::uint64_t seed = 0;
+};
+
+/// Link-side degradation of one transfer. `bandwidth_factor` multiplies the
+/// transfer time (1.0 = healthy); `extra_latency` lands after the last byte.
+struct LinkFault {
+  Seconds extra_latency;
+  double bandwidth_factor = 1.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile);
+
+  [[nodiscard]] const FaultProfile& profile() const { return profile_; }
+
+  /// True when any fault probability is nonzero.
+  [[nodiscard]] bool enabled() const;
+
+  /// Fate of attempt `attempt` (0-based) of the fetch for (epoch, sample).
+  /// Pure function of (seed, keys): thread-safe, replayable. Permanent
+  /// faults are drawn per sample and dominate; corruption and transient
+  /// failure are independent per-attempt draws (corruption dominates).
+  [[nodiscard]] FaultKind fetch_fault(std::uint64_t sample_id, std::uint64_t epoch,
+                                      std::uint32_t attempt, bool offloaded) const;
+
+  /// Degradation of the `transfer_index`-th link transfer.
+  [[nodiscard]] LinkFault link_fault(std::uint64_t transfer_index) const;
+
+ private:
+  FaultProfile profile_;
+};
+
+/// StorageService decorator that applies a FaultInjector to a real service:
+/// throws FetchError for failed attempts and mangles payloads for corrupt
+/// ones. Tracks the attempt number per (epoch, sample) internally, so the
+/// retrying caller (ResilientStorageService) needs no protocol change.
+class FaultyStorageService final : public StorageService {
+ public:
+  /// Borrows both; keep them alive while the service is in use.
+  FaultyStorageService(StorageService& inner, const FaultInjector& faults);
+
+  /// Throws FetchError(kTransient|kPermanent) on injected failures; returns
+  /// a frame-invalid payload on injected corruption.
+  [[nodiscard]] FetchResponse fetch(const FetchRequest& request) override;
+
+  [[nodiscard]] std::uint64_t injected_failures() const;
+  [[nodiscard]] std::uint64_t injected_corruptions() const;
+
+ private:
+  StorageService& inner_;
+  const FaultInjector& faults_;
+  mutable std::mutex mutex_;
+  // Next attempt number per (epoch, sample): keyed on request identity so
+  // the fault sequence is independent of worker scheduling.
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace sophon::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/fault.h"
 #include "util/check.h"
 
 namespace sophon::net {
@@ -14,17 +15,26 @@ SimLink::SimLink(Bandwidth bandwidth, Seconds latency) : bandwidth_(bandwidth), 
 Seconds SimLink::schedule(Seconds ready, Bytes size) {
   SOPHON_CHECK(size.count() >= 0);
   const Seconds start = std::max(ready, free_at_);
-  const Seconds duration = bandwidth_.transfer_time(size);
+  Seconds duration = bandwidth_.transfer_time(size);
+  Seconds extra_latency;
+  if (faults_ != nullptr) {
+    const LinkFault fault = faults_->link_fault(transfer_index_++);
+    if (fault.bandwidth_factor != 1.0 || fault.extra_latency.value() > 0.0) ++faulted_;
+    duration = duration * fault.bandwidth_factor;
+    extra_latency = fault.extra_latency;
+  }
   free_at_ = start + duration;
   busy_ += duration;
   traffic_ += size;
-  return free_at_ + latency_;
+  return free_at_ + latency_ + extra_latency;
 }
 
 void SimLink::reset() {
   free_at_ = Seconds(0.0);
   traffic_ = Bytes(0);
   busy_ = Seconds(0.0);
+  transfer_index_ = 0;
+  faulted_ = 0;
 }
 
 }  // namespace sophon::net

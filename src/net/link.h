@@ -2,22 +2,34 @@
 //
 // Models the bandwidth-capped pipe between the storage cluster and the
 // compute node (the paper throttles it to 500 Mbps): a FIFO serialising
-// resource with a per-message latency. Used by the discrete-event trainer;
-// also keeps cumulative traffic counters for the figures.
+// resource with a per-message latency. By default the link is healthy; wire
+// in a net::FaultInjector to replay deterministic latency spikes and
+// bandwidth dips per transfer (the fault model of docs/ARCHITECTURE.md).
+// Used by the discrete-event trainer; also keeps cumulative traffic counters
+// for the figures.
 #pragma once
+
+#include <cstdint>
 
 #include "util/units.h"
 
 namespace sophon::net {
+
+class FaultInjector;
 
 class SimLink {
  public:
   SimLink(Bandwidth bandwidth, Seconds latency);
 
   /// Schedule a transfer that becomes ready at `ready`: it starts when the
-  /// link frees up, occupies the link for size/bandwidth, and lands
-  /// `latency` after its last byte leaves. Returns the arrival time.
+  /// link frees up, occupies the link for size/bandwidth (stretched by an
+  /// injected bandwidth dip, when faulty), and lands `latency` (plus any
+  /// injected spike) after its last byte leaves. Returns the arrival time.
   Seconds schedule(Seconds ready, Bytes size);
+
+  /// Borrow a fault injector consulted per transfer (nullptr = healthy
+  /// link). The caller keeps it alive while the link is in use.
+  void set_fault_injector(const FaultInjector* faults) { faults_ = faults; }
 
   [[nodiscard]] Bandwidth bandwidth() const { return bandwidth_; }
   [[nodiscard]] Seconds latency() const { return latency_; }
@@ -31,7 +43,12 @@ class SimLink {
   /// Time at which the link next becomes free.
   [[nodiscard]] Seconds free_at() const { return free_at_; }
 
-  /// Clear counters and availability (start of a new epoch/run).
+  /// Transfers whose timing an injected fault degraded since reset.
+  [[nodiscard]] std::uint64_t faulted_transfers() const { return faulted_; }
+
+  /// Clear counters and availability (start of a new epoch/run). The fault
+  /// injector stays wired, but its per-transfer index restarts, so an epoch
+  /// replays the identical fault pattern.
   void reset();
 
  private:
@@ -40,6 +57,9 @@ class SimLink {
   Seconds free_at_;
   Bytes traffic_;
   Seconds busy_;
+  const FaultInjector* faults_ = nullptr;
+  std::uint64_t transfer_index_ = 0;
+  std::uint64_t faulted_ = 0;
 };
 
 }  // namespace sophon::net

@@ -1,0 +1,97 @@
+#include "net/resilience.h"
+
+#include <cmath>
+#include <thread>
+
+#include "net/wire.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sophon::net {
+
+Seconds backoff_for(const RetryPolicy& policy, std::uint64_t sample_id, std::uint64_t epoch,
+                    std::uint32_t retry) {
+  SOPHON_CHECK(retry >= 1);
+  const double base =
+      policy.initial_backoff.value() * std::pow(policy.multiplier, static_cast<double>(retry - 1));
+  Rng rng(derive_seed(derive_seed(derive_seed(derive_seed(policy.seed, "backoff"), sample_id),
+                                  epoch),
+                      retry));
+  const double u = rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  return Seconds(base * u);
+}
+
+ResilientStorageService::ResilientStorageService(StorageService& inner, RetryPolicy policy,
+                                                 MetricsRegistry* metrics)
+    : inner_(inner), policy_(policy), metrics_(metrics) {
+  SOPHON_CHECK(policy.max_attempts >= 1);
+  SOPHON_CHECK(policy.initial_backoff.value() >= 0.0);
+  SOPHON_CHECK(policy.multiplier >= 1.0);
+  SOPHON_CHECK(policy.jitter >= 0.0 && policy.jitter < 1.0);
+  SOPHON_CHECK(policy.deadline.value() >= 0.0);
+  if (metrics_ != nullptr) {
+    // Pre-register every metric so scrapes see explicit zeros before the
+    // first fetch (absent vs. zero is a real distinction for operators).
+    static_cast<void>(metrics_->counter("sophon_fetch_attempts"));
+    static_cast<void>(metrics_->counter("sophon_fetch_retries"));
+    static_cast<void>(metrics_->counter("sophon_fetch_failures"));
+    static_cast<void>(metrics_->counter("sophon_fetch_corrupt"));
+    static_cast<void>(metrics_->counter("sophon_fetch_deadline_exceeded"));
+    static_cast<void>(metrics_->histogram("sophon_fetch_backoff"));
+  }
+}
+
+FetchResponse ResilientStorageService::fetch(const FetchRequest& request) {
+  Seconds waited;
+  for (std::uint32_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (metrics_ != nullptr) metrics_->counter("sophon_fetch_attempts").increment();
+    bool corrupt = false;
+    try {
+      auto response = inner_.fetch(request);
+      // Frame-validate before handing the payload upward: a response that
+      // cannot be deserialised is a corrupt transfer, not a success.
+      if (deserialize_sample(response.payload).has_value()) return response;
+      corrupt = true;
+      corrupt_.increment();
+      if (metrics_ != nullptr) metrics_->counter("sophon_fetch_corrupt").increment();
+    } catch (const FetchError& error) {
+      if (!error.retryable()) {
+        failures_.increment();
+        if (metrics_ != nullptr) metrics_->counter("sophon_fetch_failures").increment();
+        throw;
+      }
+      if (error.kind() == FetchError::Kind::kCorrupt) {
+        corrupt_.increment();
+        if (metrics_ != nullptr) metrics_->counter("sophon_fetch_corrupt").increment();
+      }
+    }
+    if (attempt + 1 == policy_.max_attempts) break;  // budget spent
+
+    const Seconds backoff = backoff_for(policy_, request.sample_id, request.epoch, attempt + 1);
+    if (policy_.deadline.value() > 0.0 && (waited + backoff) > policy_.deadline) {
+      deadline_exceeded_.increment();
+      failures_.increment();
+      if (metrics_ != nullptr) {
+        metrics_->counter("sophon_fetch_deadline_exceeded").increment();
+        metrics_->counter("sophon_fetch_failures").increment();
+      }
+      throw FetchError(FetchError::Kind::kDeadline,
+                       corrupt ? "fetch deadline exceeded after corrupt response"
+                               : "fetch deadline exceeded while backing off");
+    }
+    waited += backoff;
+    retries_.increment();
+    if (metrics_ != nullptr) {
+      metrics_->counter("sophon_fetch_retries").increment();
+      metrics_->histogram("sophon_fetch_backoff").observe(backoff);
+    }
+    if (policy_.sleep && backoff.value() > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff.value()));
+    }
+  }
+  failures_.increment();
+  if (metrics_ != nullptr) metrics_->counter("sophon_fetch_failures").increment();
+  throw FetchError(FetchError::Kind::kExhausted, "fetch retry budget exhausted");
+}
+
+}  // namespace sophon::net

@@ -1,0 +1,86 @@
+// Retry, backoff and deadline handling for the fetch path.
+//
+// ResilientStorageService decorates any StorageService with the client-side
+// survival kit a real deployment needs: transient and corrupt-response
+// failures are retried with exponential backoff plus deterministic jitter, a
+// per-request deadline bounds the total time spent waiting, and every
+// response is frame-validated so corruption is caught before the loader
+// touches it. Backoff jitter is derived from (seed, sample, epoch, attempt),
+// never from wall clock, so a given fault trace produces an identical retry
+// schedule run-to-run — the property the backoff-determinism tests pin down.
+//
+// Telemetry (optional, via util/telemetry): sophon_fetch_attempts,
+// sophon_fetch_retries, sophon_fetch_failures, sophon_fetch_corrupt,
+// sophon_fetch_deadline_exceeded counters and the sophon_fetch_backoff
+// latency histogram.
+#pragma once
+
+#include <cstdint>
+
+#include "net/rpc.h"
+#include "util/telemetry.h"
+#include "util/units.h"
+
+namespace sophon::net {
+
+/// Client-side retry configuration for one storage channel.
+struct RetryPolicy {
+  /// Total tries per request, including the first (1 = no retries).
+  std::uint32_t max_attempts = 4;
+  /// Backoff before retry k (1-based) is
+  ///   initial_backoff * multiplier^(k-1) * U, with U deterministically
+  /// jittered in [1 - jitter, 1 + jitter].
+  Seconds initial_backoff = Seconds::millis(1.0);
+  double multiplier = 2.0;
+  double jitter = 0.5;  // in [0, 1)
+  /// Per-request deadline on the cumulative backoff wait; a retry that would
+  /// push the total past this throws FetchError(kDeadline). Zero = no
+  /// deadline. Deliberately counts modeled waits (not wall clock) so
+  /// deadline behaviour is deterministic.
+  Seconds deadline;
+  /// Seed for jitter derivation (independent of the fault seed).
+  std::uint64_t seed = 0;
+  /// Actually sleep during backoff. On by default — this is a real threaded
+  /// fetch path; tests that only care about the schedule turn it off.
+  bool sleep = true;
+};
+
+/// The jittered backoff taken before retry `retry` (1-based) of the fetch
+/// for (epoch, sample). Exposed for tests and for the sim-side replay hook,
+/// which must charge the identical waits the real path would take.
+[[nodiscard]] Seconds backoff_for(const RetryPolicy& policy, std::uint64_t sample_id,
+                                  std::uint64_t epoch, std::uint32_t retry);
+
+/// StorageService decorator adding retry/backoff/deadline and corruption
+/// detection on top of any inner service (typically the real StorageServer,
+/// or a FaultyStorageService in tests). Thread-safe to the same degree as
+/// the inner service; the loader's workers share one instance.
+class ResilientStorageService final : public StorageService {
+ public:
+  /// Borrows the inner service (and registry, when given); keep them alive.
+  ResilientStorageService(StorageService& inner, RetryPolicy policy,
+                          MetricsRegistry* metrics = nullptr);
+
+  /// Fetch with retries. Throws FetchError:
+  ///   kPermanent  — inner service failed permanently (no retry attempted),
+  ///   kDeadline   — the deadline ran out while backing off,
+  ///   kExhausted  — max_attempts tries all failed transiently/corruptly.
+  [[nodiscard]] FetchResponse fetch(const FetchRequest& request) override;
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_.value(); }
+  [[nodiscard]] std::uint64_t failures() const { return failures_.value(); }
+  [[nodiscard]] std::uint64_t corrupt_responses() const { return corrupt_.value(); }
+  [[nodiscard]] std::uint64_t deadline_exceeded() const { return deadline_exceeded_.value(); }
+
+ private:
+  StorageService& inner_;
+  RetryPolicy policy_;
+  MetricsRegistry* metrics_;
+  Counter retries_;
+  Counter failures_;
+  Counter corrupt_;
+  Counter deadline_exceeded_;
+};
+
+}  // namespace sophon::net

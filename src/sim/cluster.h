@@ -4,6 +4,10 @@
 #include "model/gpu_model.h"
 #include "util/units.h"
 
+namespace sophon::net {
+class FaultInjector;
+}  // namespace sophon::net
+
 namespace sophon::sim {
 
 /// Everything the trainer needs to know about the hardware.
@@ -24,6 +28,12 @@ struct ClusterConfig {
   std::size_t prefetch_batches = 8;
 
   std::size_t batch_size = 256;
+
+  /// Optional link degradation (latency spikes, bandwidth dips): borrowed,
+  /// consulted per transfer by the simulated link. nullptr = healthy link.
+  /// RPC-level faults (failures/retries) are modeled separately via
+  /// sim::faulty_flow.
+  const net::FaultInjector* link_faults = nullptr;
 };
 
 }  // namespace sophon::sim

@@ -1,8 +1,11 @@
 #include "sim/trainer.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "net/fault.h"
 #include "net/link.h"
+#include "net/resilience.h"
 #include "net/wire.h"
 #include "sim/resources.h"
 #include "util/check.h"
@@ -25,6 +28,7 @@ EpochStats simulate_epoch_flows(std::size_t num_samples,
   CpuPool storage_pool(cluster.storage_cores, cluster.storage_core_speed);
   CpuPool compute_pool(cluster.compute_cores);
   net::SimLink link(cluster.bandwidth, cluster.link_latency);
+  link.set_fault_injector(cluster.link_faults);
   GpuResource gpu;
 
   std::vector<Seconds> batch_gpu_done(batches.size());
@@ -43,8 +47,9 @@ EpochStats simulate_epoch_flows(std::size_t num_samples,
       const SampleFlow f = flow(idx);
       SOPHON_CHECK(f.storage_cpu.value() >= 0.0 && f.compute_cpu.value() >= 0.0);
       SOPHON_CHECK(f.wire.count() >= 0);
+      SOPHON_CHECK(f.delay.value() >= 0.0);
 
-      Seconds t = issue;
+      Seconds t = issue + f.delay;
       if (f.storage_cpu.value() > 0.0) {
         SOPHON_CHECK_MSG(storage_pool.can_schedule(),
                          "offload assignment requires storage cores");
@@ -100,6 +105,7 @@ ShardedEpochStats simulate_epoch_sharded(std::size_t num_samples,
   }
   CpuPool compute_pool(cluster.compute_cores);
   net::SimLink link(cluster.bandwidth, cluster.link_latency);
+  link.set_fault_injector(cluster.link_faults);
   GpuResource gpu;
 
   std::vector<Seconds> batch_gpu_done(batches.size());
@@ -113,7 +119,7 @@ ShardedEpochStats simulate_epoch_sharded(std::size_t num_samples,
     for (std::size_t pos = batches[b].begin; pos < batches[b].end; ++pos) {
       const auto idx = order.at(pos);
       const SampleFlow f = flow(idx);
-      Seconds t = issue;
+      Seconds t = issue + f.delay;
       if (f.storage_cpu.value() > 0.0) {
         auto& pool = node_pools[static_cast<std::size_t>(shards.node_of(idx))];
         SOPHON_CHECK_MSG(pool.can_schedule(), "offload assignment requires storage cores");
@@ -145,6 +151,75 @@ ShardedEpochStats simulate_epoch_sharded(std::size_t num_samples,
     stats.node_cpu_busy.push_back(pool.busy_time());
   }
   return stats;
+}
+
+std::function<SampleFlow(std::size_t)> faulty_flow(std::function<SampleFlow(std::size_t)> flow,
+                                                   std::function<SampleFlow(std::size_t)> raw_flow,
+                                                   const net::FaultInjector& faults,
+                                                   const net::RetryPolicy& retry,
+                                                   std::size_t epoch_index,
+                                                   FaultReplayStats* stats) {
+  SOPHON_CHECK(retry.max_attempts >= 1);
+  // `faults` is borrowed: the caller keeps it alive while the flow is used.
+  return [flow = std::move(flow), raw_flow = std::move(raw_flow), &faults, retry, epoch_index,
+          stats](std::size_t idx) -> SampleFlow {
+    SampleFlow f = flow(idx);
+    const bool offloaded = f.storage_cpu.value() > 0.0;
+    Seconds backoff_delay;
+    Bytes wasted_wire;
+    Seconds wasted_cpu;
+    std::uint64_t retries = 0;
+    bool exhausted = true;
+    bool permanent = false;
+    for (std::uint32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+      const auto kind = faults.fetch_fault(idx, epoch_index, attempt, offloaded);
+      if (kind == net::FaultKind::kNone) {
+        exhausted = false;
+        break;
+      }
+      if (kind == net::FaultKind::kPermanent) {
+        permanent = true;
+        break;
+      }
+      if (kind == net::FaultKind::kCorrupt) {
+        // The corrupt attempt shipped a full payload (and redid the prefix)
+        // before validation rejected it.
+        wasted_wire += f.wire;
+        wasted_cpu += f.storage_cpu;
+      }
+      if (attempt + 1 == retry.max_attempts) break;  // budget spent
+      backoff_delay += net::backoff_for(retry, idx, epoch_index, attempt + 1);
+      ++retries;
+    }
+    if (stats != nullptr) {
+      stats->retries += retries;
+      stats->backoff += backoff_delay;
+      stats->wasted_traffic += wasted_wire;
+    }
+    if (!exhausted && !permanent) {
+      f.delay += backoff_delay;
+      f.wire += wasted_wire;
+      f.storage_cpu += wasted_cpu;
+      return f;
+    }
+    // The offloaded fetch is beyond saving: replay the loader's graceful
+    // degradation — demote to the raw flow, keeping the penalties already
+    // paid. A non-offloaded sample has nothing to demote to; count it
+    // failed but keep the epoch moving (the sim has no error channel).
+    SampleFlow demoted = offloaded ? raw_flow(idx) : f;
+    demoted.delay += backoff_delay;
+    demoted.wire += wasted_wire;
+    demoted.storage_cpu += wasted_cpu;
+    if (stats != nullptr) {
+      if (!offloaded ||
+          faults.fetch_fault(idx, epoch_index, 0, false) == net::FaultKind::kPermanent) {
+        ++stats->failed;  // the raw path is broken too
+      } else if (offloaded) {
+        ++stats->degraded;
+      }
+    }
+    return demoted;
+  };
 }
 
 EpochStats simulate_epoch(const dataset::Catalog& catalog, const pipeline::Pipeline& pipeline,

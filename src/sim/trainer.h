@@ -27,6 +27,11 @@
 #include "storage/sharding.h"
 #include "util/units.h"
 
+namespace sophon::net {
+class FaultInjector;
+struct RetryPolicy;
+}  // namespace sophon::net
+
 namespace sophon::sim {
 
 /// What one simulated epoch measured.
@@ -44,12 +49,15 @@ struct EpochStats {
 
 /// Per-sample resource demands, the generic currency of the simulator: what
 /// the storage node computes, what crosses the link, what the compute node
-/// finishes. Extensions (e.g. selective payload compression) express
-/// themselves as different flows for the same sample.
+/// finishes. Extensions (e.g. selective payload compression, fault replay)
+/// express themselves as different flows for the same sample.
 struct SampleFlow {
   Seconds storage_cpu;  // zero means "not offloaded"
   Bytes wire;
   Seconds compute_cpu;
+  /// Idle stall charged before the sample enters the pipeline (e.g. retry
+  /// backoff replayed from a fault trace). Occupies no resource.
+  Seconds delay;
 };
 
 /// Generic epoch simulation over arbitrary per-sample flows. `flow(i)` must
@@ -88,6 +96,29 @@ struct ShardedEpochStats {
     std::size_t num_samples, const std::function<SampleFlow(std::size_t)>& flow,
     const storage::ShardMap& shards, const ClusterConfig& cluster, Seconds gpu_batch_time,
     std::uint64_t seed, std::size_t epoch_index = 0);
+
+/// What replaying a fault trace over one epoch's flows amounted to.
+/// Filled by the flow wrapper as the simulator pulls samples.
+struct FaultReplayStats {
+  std::uint64_t retries = 0;        // failed attempts that were retried
+  std::size_t degraded = 0;         // samples demoted to the raw flow
+  std::size_t failed = 0;           // samples whose raw fallback also failed
+  Seconds backoff;                  // total retry backoff charged as delay
+  Bytes wasted_traffic;             // bytes shipped by corrupt attempts
+};
+
+/// Wrap a per-sample flow with the same fault semantics the real fetch path
+/// has: for each sample, replay the injector's per-attempt draws under the
+/// given retry policy. Transient failures charge jittered backoff as delay;
+/// corrupt attempts additionally waste a full payload's wire bytes and
+/// storage CPU; a permanent fault (retry budget useless) demotes the sample
+/// to `raw_flow` — the loader's graceful degradation. `stats` (optional)
+/// accumulates the impact; reset it between epochs. The returned flow is
+/// pure per index, so it composes with any simulate_epoch_* entry point.
+[[nodiscard]] std::function<SampleFlow(std::size_t)> faulty_flow(
+    std::function<SampleFlow(std::size_t)> flow, std::function<SampleFlow(std::size_t)> raw_flow,
+    const net::FaultInjector& faults, const net::RetryPolicy& retry, std::size_t epoch_index,
+    FaultReplayStats* stats = nullptr);
 
 /// Average several consecutive epochs (fresh shuffles, same assignment).
 [[nodiscard]] EpochStats simulate_epochs(const dataset::Catalog& catalog,

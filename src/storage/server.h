@@ -6,6 +6,11 @@
 // prefix with the epoch/sample-keyed augmentation streams, and replies with
 // the framed payload. It also meters the modeled CPU seconds it spends —
 // the quantity the decision engine budgets as T_CS.
+//
+// The server is the innermost StorageService: clients usually reach it
+// through decorators (net::ResilientStorageService for retries, a shard
+// Router in clustered setups, net::FaultyStorageService in fault drills) —
+// see docs/ARCHITECTURE.md, "Life of an offloaded fetch".
 #pragma once
 
 #include <cstdint>

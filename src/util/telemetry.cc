@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 
 namespace sophon {
 
@@ -13,6 +14,51 @@ void DurationStat::observe(Seconds duration) {
 RunningStats DurationStat::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+HistogramStat::HistogramStat(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("histogram bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);  // trailing +Inf bucket
+}
+
+std::vector<double> HistogramStat::default_bounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
+}
+
+void HistogramStat::observe(Seconds duration) {
+  const double v = duration.value();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t HistogramStat::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double HistogramStat::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+std::uint64_t HistogramStat::cumulative(std::size_t bucket) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bucket && i < counts_.size(); ++i) total += counts_[i];
+  return total;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -36,6 +82,13 @@ DurationStat& MetricsRegistry::duration(const std::string& name) {
   return *slot;
 }
 
+HistogramStat& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramStat>(HistogramStat::default_bounds());
+  return *slot;
+}
+
 std::string MetricsRegistry::expose() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
@@ -53,6 +106,15 @@ std::string MetricsRegistry::expose() const {
       os << name << "_seconds_min " << stats.min() << '\n';
       os << name << "_seconds_max " << stats.max() << '\n';
     }
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const auto& bounds = histogram->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      os << name << "_bucket{le=\"" << bounds[i] << "\"} " << histogram->cumulative(i) << '\n';
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << histogram->count() << '\n';
+    os << name << "_count " << histogram->count() << '\n';
+    os << name << "_sum " << histogram->sum() << '\n';
   }
   return os.str();
 }

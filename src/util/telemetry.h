@@ -1,8 +1,9 @@
-// Lightweight process telemetry: named counters, gauges and duration
-// accumulators behind one registry, with a Prometheus-style text exposition.
-// The CLI tool and long-running examples use this to report what the run
-// actually did (fetches, bytes moved, preprocess time) without threading
-// bespoke counters through every call site.
+// Lightweight process telemetry: named counters, gauges, duration
+// accumulators and fixed-bucket latency histograms behind one registry, with
+// a Prometheus-style text exposition. The CLI tool, the resilience layer and
+// long-running examples use this to report what the run actually did
+// (fetches, retries, bytes moved, preprocess time) without threading bespoke
+// counters through every call site.
 #pragma once
 
 #include <atomic>
@@ -12,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/stats.h"
 #include "util/units.h"
@@ -49,6 +51,35 @@ class DurationStat {
   RunningStats stats_;
 };
 
+/// Cumulative-bucket latency histogram (Prometheus semantics): observe()
+/// files a duration into every bucket whose upper bound it does not exceed.
+/// Bounds are fixed at construction; thread-safe.
+class HistogramStat {
+ public:
+  /// `bounds` are the buckets' inclusive upper edges in seconds, strictly
+  /// increasing; an implicit +Inf bucket catches the rest.
+  explicit HistogramStat(std::vector<double> bounds);
+
+  /// Log-spaced defaults covering 100 µs .. 10 s, the range fetch backoffs
+  /// and stalls land in.
+  static std::vector<double> default_bounds();
+
+  void observe(Seconds duration);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations <= bounds()[i] (cumulative, excludes the +Inf bucket).
+  [[nodiscard]] std::uint64_t cumulative(std::size_t bucket) const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;  // per-bucket (non-cumulative), +Inf last
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
 /// Named-metric registry. Metric objects are created on first use and live
 /// as long as the registry; returned references stay valid.
 class MetricsRegistry {
@@ -56,6 +87,7 @@ class MetricsRegistry {
   [[nodiscard]] Counter& counter(const std::string& name);
   [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] DurationStat& duration(const std::string& name);
+  [[nodiscard]] HistogramStat& histogram(const std::string& name);
 
   /// Prometheus-ish plain-text dump, keys sorted for diffability:
   ///   sophon_fetch_total 1234
@@ -67,6 +99,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<DurationStat>> durations_;
+  std::map<std::string, std::unique_ptr<HistogramStat>> histograms_;
 };
 
 /// RAII span timer feeding a DurationStat with wall-clock time.

@@ -1,0 +1,291 @@
+#include "net/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/link.h"
+#include "net/wire.h"
+#include "pipeline/sample.h"
+#include "util/check.h"
+
+namespace sophon::net {
+namespace {
+
+FetchResponse ok_response(std::uint64_t sample_id) {
+  FetchResponse response;
+  response.sample_id = sample_id;
+  pipeline::EncodedBlob blob;
+  blob.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  response.payload = serialize_sample(blob);
+  return response;
+}
+
+/// Scripted service: one letter per call — 'o' ok, 't' transient error,
+/// 'p' permanent error, 'c' corrupt (frame-invalid) payload. The script's
+/// last letter repeats forever.
+class ScriptedService final : public StorageService {
+ public:
+  explicit ScriptedService(std::string script) : script_(std::move(script)) {}
+
+  FetchResponse fetch(const FetchRequest& request) override {
+    const char action = script_[std::min(calls_, script_.size() - 1)];
+    ++calls_;
+    switch (action) {
+      case 't':
+        throw FetchError(FetchError::Kind::kTransient, "scripted transient");
+      case 'p':
+        throw FetchError(FetchError::Kind::kPermanent, "scripted permanent");
+      case 'c': {
+        FetchResponse corrupt;
+        corrupt.sample_id = request.sample_id;
+        corrupt.payload = {0xDE, 0xAD};
+        return corrupt;
+      }
+      default:
+        return ok_response(request.sample_id);
+    }
+  }
+
+  [[nodiscard]] std::size_t calls() const { return calls_; }
+
+ private:
+  std::string script_;
+  std::size_t calls_ = 0;
+};
+
+RetryPolicy fast_policy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = Seconds::millis(1.0);
+  policy.sleep = false;
+  policy.seed = 7;
+  return policy;
+}
+
+TEST(Backoff, ScheduleIsDeterministic) {
+  const auto policy = fast_policy();
+  for (std::uint32_t retry = 1; retry <= 5; ++retry) {
+    EXPECT_EQ(backoff_for(policy, 11, 2, retry).value(),
+              backoff_for(policy, 11, 2, retry).value());
+  }
+  // Distinct samples jitter differently but share the schedule's shape.
+  EXPECT_NE(backoff_for(policy, 11, 2, 1).value(), backoff_for(policy, 12, 2, 1).value());
+}
+
+TEST(Backoff, GrowsExponentiallyWithinJitterBounds) {
+  auto policy = fast_policy();
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;
+  for (std::uint32_t retry = 1; retry <= 6; ++retry) {
+    const double base = policy.initial_backoff.value() * std::pow(2.0, retry - 1);
+    const double b = backoff_for(policy, 3, 0, retry).value();
+    EXPECT_GE(b, base * 0.5) << "retry " << retry;
+    EXPECT_LT(b, base * 1.5) << "retry " << retry;
+  }
+}
+
+TEST(Resilience, RetriesTransientFailuresThenSucceeds) {
+  ScriptedService inner("tto");
+  MetricsRegistry metrics;
+  ResilientStorageService service(inner, fast_policy(), &metrics);
+  FetchRequest request;
+  request.sample_id = 5;
+  const auto response = service.fetch(request);
+  EXPECT_EQ(response.sample_id, 5u);
+  EXPECT_EQ(inner.calls(), 3u);
+  EXPECT_EQ(service.retries(), 2u);
+  EXPECT_EQ(metrics.counter("sophon_fetch_retries").value(), 2u);
+  EXPECT_EQ(metrics.counter("sophon_fetch_attempts").value(), 3u);
+  EXPECT_EQ(metrics.histogram("sophon_fetch_backoff").count(), 2u);
+}
+
+TEST(Resilience, ExhaustsRetryBudget) {
+  ScriptedService inner("t");
+  ResilientStorageService service(inner, fast_policy());
+  try {
+    (void)service.fetch(FetchRequest{});
+    FAIL() << "expected FetchError";
+  } catch (const FetchError& error) {
+    EXPECT_EQ(error.kind(), FetchError::Kind::kExhausted);
+  }
+  EXPECT_EQ(inner.calls(), 4u);  // max_attempts
+  EXPECT_EQ(service.retries(), 3u);
+  EXPECT_EQ(service.failures(), 1u);
+}
+
+TEST(Resilience, PermanentFailureIsNotRetried) {
+  ScriptedService inner("p");
+  ResilientStorageService service(inner, fast_policy());
+  try {
+    (void)service.fetch(FetchRequest{});
+    FAIL() << "expected FetchError";
+  } catch (const FetchError& error) {
+    EXPECT_EQ(error.kind(), FetchError::Kind::kPermanent);
+  }
+  EXPECT_EQ(inner.calls(), 1u);
+  EXPECT_EQ(service.retries(), 0u);
+}
+
+TEST(Resilience, DeadlineBoundsTheRetryWait) {
+  ScriptedService inner("t");
+  auto policy = fast_policy();
+  policy.initial_backoff = Seconds(10.0);  // first backoff alone bursts it
+  policy.deadline = Seconds(5.0);
+  MetricsRegistry metrics;
+  ResilientStorageService service(inner, policy, &metrics);
+  try {
+    (void)service.fetch(FetchRequest{});
+    FAIL() << "expected FetchError";
+  } catch (const FetchError& error) {
+    EXPECT_EQ(error.kind(), FetchError::Kind::kDeadline);
+  }
+  EXPECT_EQ(inner.calls(), 1u);  // no retry fits inside the deadline
+  EXPECT_EQ(service.deadline_exceeded(), 1u);
+  EXPECT_EQ(metrics.counter("sophon_fetch_deadline_exceeded").value(), 1u);
+}
+
+TEST(Resilience, DetectsCorruptResponsesAndRetries) {
+  ScriptedService inner("co");
+  ResilientStorageService service(inner, fast_policy());
+  const auto response = service.fetch(FetchRequest{});
+  EXPECT_TRUE(deserialize_sample(response.payload).has_value());
+  EXPECT_EQ(service.corrupt_responses(), 1u);
+  EXPECT_EQ(service.retries(), 1u);
+}
+
+TEST(Resilience, ExposesZeroedCountersBeforeAnyTraffic) {
+  ScriptedService inner("o");
+  MetricsRegistry metrics;
+  ResilientStorageService service(inner, fast_policy(), &metrics);
+  const auto text = metrics.expose();
+  EXPECT_NE(text.find("sophon_fetch_retries_total 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("sophon_fetch_deadline_exceeded_total 0"), std::string::npos);
+  EXPECT_NE(text.find("sophon_fetch_backoff_bucket{le=\"+Inf\"} 0"), std::string::npos);
+}
+
+TEST(Resilience, RejectsBadPolicy) {
+  ScriptedService inner("o");
+  RetryPolicy bad = fast_policy();
+  bad.max_attempts = 0;
+  EXPECT_THROW(ResilientStorageService(inner, bad), ContractViolation);
+  bad = fast_policy();
+  bad.jitter = 1.0;
+  EXPECT_THROW(ResilientStorageService(inner, bad), ContractViolation);
+}
+
+TEST(FaultInjector, DrawsAreDeterministicAndSeedSensitive) {
+  FaultProfile profile;
+  profile.transient_fail_prob = 0.3;
+  profile.corrupt_prob = 0.1;
+  profile.seed = 99;
+  const FaultInjector a(profile);
+  const FaultInjector b(profile);
+  profile.seed = 100;
+  const FaultInjector c(profile);
+  bool any_difference = false;
+  for (std::uint64_t sample = 0; sample < 200; ++sample) {
+    EXPECT_EQ(a.fetch_fault(sample, 0, 0, true), b.fetch_fault(sample, 0, 0, true));
+    any_difference |= a.fetch_fault(sample, 0, 0, true) != c.fetch_fault(sample, 0, 0, true);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, PermanentFaultsStickAcrossAttempts) {
+  FaultProfile profile;
+  profile.permanent_fail_prob = 0.25;
+  profile.seed = 4;
+  const FaultInjector injector(profile);
+  std::size_t permanent = 0;
+  for (std::uint64_t sample = 0; sample < 400; ++sample) {
+    const auto first = injector.fetch_fault(sample, 0, 0, true);
+    if (first == FaultKind::kPermanent) {
+      ++permanent;
+      for (std::uint32_t attempt = 1; attempt < 5; ++attempt) {
+        EXPECT_EQ(injector.fetch_fault(sample, 0, attempt, true), FaultKind::kPermanent);
+      }
+    }
+  }
+  EXPECT_GT(permanent, 400 * 0.15);
+  EXPECT_LT(permanent, 400 * 0.35);
+}
+
+TEST(FaultInjector, OffloadOnlySparesRawFetches) {
+  FaultProfile profile;
+  profile.transient_fail_prob = 1.0;
+  profile.permanent_fail_prob = 1.0;
+  profile.offload_only = true;
+  profile.seed = 1;
+  const FaultInjector injector(profile);
+  EXPECT_EQ(injector.fetch_fault(0, 0, 0, false), FaultKind::kNone);
+  EXPECT_NE(injector.fetch_fault(0, 0, 0, true), FaultKind::kNone);
+}
+
+TEST(FaultInjector, RejectsBadProfile) {
+  FaultProfile profile;
+  profile.transient_fail_prob = 1.5;
+  EXPECT_THROW(FaultInjector{profile}, ContractViolation);
+  profile = {};
+  profile.bandwidth_dip_factor = 0.5;
+  EXPECT_THROW(FaultInjector{profile}, ContractViolation);
+}
+
+TEST(FaultyService, InjectsFailuresAndCorruption) {
+  ScriptedService inner("o");
+  FaultProfile profile;
+  profile.permanent_fail_prob = 1.0;
+  profile.seed = 3;
+  const FaultInjector always_fail(profile);
+  FaultyStorageService failing(inner, always_fail);
+  EXPECT_THROW((void)failing.fetch(FetchRequest{}), FetchError);
+  EXPECT_EQ(failing.injected_failures(), 1u);
+
+  profile = {};
+  profile.corrupt_prob = 1.0;
+  profile.seed = 3;
+  const FaultInjector always_corrupt(profile);
+  FaultyStorageService corrupting(inner, always_corrupt);
+  const auto response = corrupting.fetch(FetchRequest{});
+  EXPECT_FALSE(deserialize_sample(response.payload).has_value());
+  EXPECT_EQ(corrupting.injected_corruptions(), 1u);
+}
+
+TEST(LinkFaults, SpikesAndDipsDegradeTransfersDeterministically) {
+  FaultProfile profile;
+  profile.latency_spike_prob = 1.0;
+  profile.latency_spike = Seconds::millis(100.0);
+  profile.bandwidth_dip_prob = 1.0;
+  profile.bandwidth_dip_factor = 2.0;
+  profile.seed = 8;
+  const FaultInjector injector(profile);
+
+  SimLink link(Bandwidth::mbps(8.0), Seconds(0.0));  // 1 MB/s healthy
+  link.set_fault_injector(&injector);
+  // 1 MB at a 2x dip takes 2 s, plus the 100 ms spike after the last byte.
+  const auto arrival = link.schedule(Seconds(0.0), Bytes(1'000'000));
+  EXPECT_DOUBLE_EQ(arrival.value(), 2.1);
+  EXPECT_EQ(link.faulted_transfers(), 1u);
+
+  // reset() restarts the transfer index: the replay is identical.
+  link.reset();
+  EXPECT_DOUBLE_EQ(link.schedule(Seconds(0.0), Bytes(1'000'000)).value(), 2.1);
+}
+
+TEST(LinkFaults, HealthyLinkIsUnchanged) {
+  FaultProfile profile;  // all probabilities zero
+  profile.seed = 8;
+  const FaultInjector injector(profile);
+  SimLink faulty(Bandwidth::mbps(8.0), Seconds(0.0));
+  faulty.set_fault_injector(&injector);
+  SimLink plain(Bandwidth::mbps(8.0), Seconds(0.0));
+  EXPECT_DOUBLE_EQ(faulty.schedule(Seconds(0.0), Bytes(1'000'000)).value(),
+                   plain.schedule(Seconds(0.0), Bytes(1'000'000)).value());
+  EXPECT_EQ(faulty.faulted_transfers(), 0u);
+}
+
+}  // namespace
+}  // namespace sophon::net

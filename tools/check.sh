@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Developer check driver.
+#
+#   tools/check.sh            configure + build + full ctest (build/)
+#   tools/check.sh --tsan     same, in a ThreadSanitizer build (build-tsan/),
+#                             restricted to the concurrency-sensitive suites
+#                             (loader, resilience, net) — TSan slows the rest
+#                             down ~10x for no extra signal.
+#
+# Each sanitizer needs its own build directory: objects built with
+# -fsanitize=thread are not link-compatible with a plain build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  cmake -B build-tsan -S . -DSOPHON_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" --target \
+    loader_test loader_degradation_test net_resilience_test net_rpc_test net_link_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'Loader|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc'
+elif [[ $# -gt 0 ]]; then
+  echo "usage: tools/check.sh [--tsan]" >&2
+  exit 2
+else
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi

@@ -17,12 +17,17 @@
 #include <map>
 #include <string>
 
+#include <functional>
+
 #include "core/decision.h"
 #include "core/profiler.h"
 #include "core/runner.h"
 #include "core/serialize.h"
+#include "net/fault.h"
+#include "net/resilience.h"
 #include "net/wire.h"
 #include "sim/trace.h"
+#include "sim/trainer.h"
 #include "dataset/calibrate.h"
 #include "storage/disk_store.h"
 #include "util/table.h"
@@ -155,7 +160,10 @@ int cmd_simulate(const Flags& flags) {
   const auto name = flags.str("dataset", "openimages");
   const auto samples = static_cast<std::size_t>(flags.integer("samples", 40000));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto epoch = static_cast<std::size_t>(flags.integer("epoch", 0));
   const auto catalog = dataset::Catalog::generate(profile_for(name, samples), seed);
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
 
   core::OffloadPlan plan(catalog.size());
   if (const auto path = flags.str("plan", ""); !path.empty()) {
@@ -168,16 +176,62 @@ int cmd_simulate(const Flags& flags) {
     plan = std::move(*parsed);
   }
 
-  const auto cluster = cluster_from(flags);
+  auto cluster = cluster_from(flags);
   const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
-  const auto stats =
-      sim::simulate_epoch(catalog, pipeline::Pipeline::standard(), pipeline::CostModel{},
-                          cluster, gpu.batch_time(cluster.batch_size), plan.assignment(), seed,
-                          static_cast<std::size_t>(flags.integer("epoch", 0)));
+
+  // Optional fault replay (see docs/ARCHITECTURE.md, "Fault model").
+  net::FaultProfile fault_profile;
+  fault_profile.transient_fail_prob = flags.number("transient-fail", 0.0);
+  fault_profile.permanent_fail_prob = flags.number("permanent-fail", 0.0);
+  fault_profile.corrupt_prob = flags.number("corrupt", 0.0);
+  fault_profile.offload_only = flags.integer("fail-offload-only", 1) != 0;
+  fault_profile.latency_spike_prob = flags.number("latency-spike", 0.0);
+  fault_profile.bandwidth_dip_prob = flags.number("bandwidth-dip", 0.0);
+  fault_profile.seed = static_cast<std::uint64_t>(flags.integer("fault-seed", seed));
+  const net::FaultInjector faults{fault_profile};
+
+  std::function<sim::SampleFlow(std::size_t)> flow = [&](std::size_t idx) {
+    const auto& meta = catalog.sample(idx);
+    const std::size_t prefix = plan.prefix(idx);
+    sim::SampleFlow f;
+    f.storage_cpu = prefix > 0 ? pipe.prefix_cost(meta.raw, prefix, cm) : Seconds(0.0);
+    f.wire = net::wire_size(pipe.shape_at(meta.raw, prefix));
+    f.compute_cpu = pipe.suffix_cost(meta.raw, prefix, cm);
+    return f;
+  };
+  sim::FaultReplayStats replay;
+  if (faults.enabled()) {
+    cluster.link_faults = &faults;
+    const auto raw_flow = [&](std::size_t idx) {
+      const auto& meta = catalog.sample(idx);
+      sim::SampleFlow f;
+      f.wire = net::wire_size(pipe.shape_at(meta.raw, 0));
+      f.compute_cpu = pipe.suffix_cost(meta.raw, 0, cm);
+      return f;
+    };
+    net::RetryPolicy retry;
+    retry.max_attempts = static_cast<std::uint32_t>(flags.integer("retries", 3)) + 1;
+    retry.seed = fault_profile.seed;
+    flow = sim::faulty_flow(flow, raw_flow, faults, retry, epoch, &replay);
+  }
+
+  const auto stats = sim::simulate_epoch_flows(catalog.size(), flow, cluster,
+                                               gpu.batch_time(cluster.batch_size), seed, epoch);
   std::printf("epoch %.1f s | traffic %s | GPU util %.1f%% | offloaded %zu | storage CPU %.1fs\n",
               stats.epoch_time.value(), human_bytes(stats.traffic).c_str(),
               100.0 * stats.gpu_utilization, stats.offloaded_samples,
               stats.storage_cpu_busy.value());
+  if (faults.enabled()) {
+    std::printf("faults: %llu retries | %zu degraded | %zu failed | %s wasted | %.2fs backoff\n",
+                static_cast<unsigned long long>(replay.retries), replay.degraded, replay.failed,
+                human_bytes(replay.wasted_traffic).c_str(), replay.backoff.value());
+    MetricsRegistry metrics;
+    metrics.counter("sophon_fetch_retries").increment(replay.retries);
+    metrics.counter("sophon_degraded_samples").increment(replay.degraded);
+    metrics.counter("sophon_fetch_failures").increment(replay.failed);
+    metrics.gauge("sophon_fetch_backoff_seconds").set(replay.backoff.value());
+    std::printf("%s", metrics.expose().c_str());
+  }
   return 0;
 }
 
