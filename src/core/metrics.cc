@@ -37,4 +37,11 @@ bool EpochCostVector::net_predominant() const {
   return t_net > t_g && t_net > t_cc && t_net > t_cs;
 }
 
+Bottleneck EpochCostVector::bottleneck() const {
+  const Seconds cpu = std::max(t_cc, t_cs);
+  if (t_g >= t_net && t_g >= cpu) return Bottleneck::kGpu;
+  if (t_net >= cpu) return Bottleneck::kIo;
+  return Bottleneck::kCpu;
+}
+
 }  // namespace sophon::core

@@ -76,6 +76,11 @@ struct EpochCostVector {
   /// other component; the paper stops offloading when this ceases to hold.)
   [[nodiscard]] bool net_predominant() const;
 
+  /// The bottleneck as a resource class: kIo when the link dominates, kCpu
+  /// when either CPU pool does, kGpu otherwise. Ties resolve GPU > IO > CPU,
+  /// mirroring ThroughputProfile::bottleneck().
+  [[nodiscard]] Bottleneck bottleneck() const;
+
   /// A coarse epoch-time prediction: the bottleneck resource's time. Used
   /// by FastFlow-style coarse planning and by the decision engine's
   /// exact-minimiser variant.

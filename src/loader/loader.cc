@@ -1,9 +1,11 @@
 #include "loader/loader.h"
 
+#include <tuple>
 #include <utility>
 
 #include "dataset/sampler.h"
 #include "net/wire.h"
+#include "prefetch/metrics.h"
 #include "storage/server.h"
 #include "util/check.h"
 
@@ -24,6 +26,8 @@ DataLoader::DataLoader(net::StorageService& service, const pipeline::Pipeline& p
     // Pre-register so scrapes see explicit zeros before the first failure.
     static_cast<void>(options.metrics->counter("sophon_degraded_samples"));
     static_cast<void>(options.metrics->counter("sophon_loader_fetch_errors"));
+    static_cast<void>(options.metrics->gauge("sophon_loader_reorder_highwater"));
+    if (options.prefetch.depth > 0) prefetch::register_prefetch_metrics(*options.metrics);
   }
   order_ = dataset::EpochOrder(num_samples, options.seed, options.epoch).order();
 }
@@ -35,6 +39,9 @@ DataLoader::~DataLoader() {
   }
   queue_not_full_.notify_all();
   queue_not_empty_.notify_all();
+  // Shut the prefetcher down before joining: a worker blocked in claim() on
+  // an in-flight fetch is woken here and sees stopping_ on its next check.
+  if (prefetcher_) prefetcher_->shutdown();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -43,6 +50,17 @@ DataLoader::~DataLoader() {
 void DataLoader::start() {
   SOPHON_CHECK_MSG(!started_, "start() may only be called once");
   started_ = true;
+  if (options_.prefetch.depth > 0) {
+    prefetch::PrefetchScheduler::Config config;
+    config.options = options_.prefetch;
+    config.seed = options_.seed;
+    config.epoch = options_.epoch;
+    config.compress_quality = options_.compress_quality;
+    config.metrics = options_.metrics;
+    prefetcher_ =
+        std::make_unique<prefetch::PrefetchScheduler>(service_, plan_, order_, config);
+    prefetcher_->start();
+  }
   workers_.reserve(options_.num_workers);
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -80,13 +98,29 @@ void DataLoader::worker_loop() {
       const std::uint64_t sample_id = order_[position];
       const std::size_t prefix = plan_.size() == 0 ? 0 : plan_.prefix(sample_id);
 
-      net::FetchRequest request;
-      request.sample_id = sample_id;
-      request.epoch = options_.epoch;
-      request.position = position;
-      request.directive.prefix_len = static_cast<std::uint8_t>(prefix);
-      if (prefix > 0) request.directive.compress_quality = options_.compress_quality;
-      auto [response, degraded] = fetch_with_degradation(request);
+      net::FetchResponse response;
+      bool degraded = false;
+      bool staged = false;
+      if (prefetcher_) {
+        // Blocks only while the position is actively in flight; a skipped,
+        // failed or not-yet-reached position falls through to demand.
+        if (auto claimed = prefetcher_->claim(position)) {
+          response = std::move(claimed->response);
+          staged = true;
+        } else {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          if (stopping_) return;  // claim was woken by shutdown, not a miss
+        }
+      }
+      if (!staged) {
+        net::FetchRequest request;
+        request.sample_id = sample_id;
+        request.epoch = options_.epoch;
+        request.position = position;
+        request.directive.prefix_len = static_cast<std::uint8_t>(prefix);
+        if (prefix > 0) request.directive.compress_quality = options_.compress_quality;
+        std::tie(response, degraded) = fetch_with_degradation(request);
+      }
 
       auto payload = net::unpack_response(response);
       SOPHON_CHECK_MSG(payload.has_value(), "malformed fetch response");
@@ -116,6 +150,13 @@ void DataLoader::worker_loop() {
         traffic_ += item.wire_bytes;
         if (item.degraded) ++degraded_;
         reorder_.emplace(item.position, std::move(item));
+        if (reorder_.size() > reorder_highwater_) {
+          reorder_highwater_ = reorder_.size();
+          if (options_.metrics != nullptr) {
+            options_.metrics->gauge("sophon_loader_reorder_highwater")
+                .set_max(static_cast<double>(reorder_highwater_));
+          }
+        }
       } else {
         queue_not_full_.wait(
             lock, [this] { return stopping_ || queue_.size() < options_.queue_capacity; });
@@ -182,6 +223,16 @@ Bytes DataLoader::traffic() const {
 std::uint64_t DataLoader::degraded_samples() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return degraded_;
+}
+
+std::size_t DataLoader::reorder_highwater() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reorder_highwater_;
+}
+
+std::optional<prefetch::PrefetchScheduler::Stats> DataLoader::prefetch_stats() const {
+  if (!prefetcher_) return std::nullopt;
+  return prefetcher_->stats();
 }
 
 }  // namespace sophon::loader

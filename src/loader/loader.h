@@ -23,6 +23,7 @@
 #include <deque>
 #include <exception>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -32,6 +33,7 @@
 #include "image/tensor.h"
 #include "net/rpc.h"
 #include "pipeline/pipeline.h"
+#include "prefetch/scheduler.h"
 #include "util/telemetry.h"
 
 namespace sophon::loader {
@@ -63,9 +65,15 @@ class DataLoader {
     /// (prefix 0, no compression) before giving up on the epoch.
     bool degrade_on_failure = true;
     /// Optional telemetry: reports sophon_degraded_samples and
-    /// sophon_loader_fetch_errors counters (registry must outlive the
-    /// loader).
+    /// sophon_loader_fetch_errors counters plus the reorder buffer's
+    /// high-water gauge (registry must outlive the loader).
     MetricsRegistry* metrics = nullptr;
+    /// Clairvoyant prefetching over the epoch order: depth > 0 runs a
+    /// scheduler thread that stages fetches ahead of the workers (see
+    /// src/prefetch/). Tensors stay bit-identical — prefetching changes
+    /// when a sample's bytes move, never what the sample becomes. Depth 0
+    /// (default) is pure demand fetching.
+    prefetch::PrefetchOptions prefetch{};
   };
 
   /// Borrows everything; keep service/pipeline/plan alive while loading.
@@ -95,6 +103,12 @@ class DataLoader {
   /// Samples delivered via the raw-fetch fallback so far.
   [[nodiscard]] std::uint64_t degraded_samples() const;
 
+  /// Peak size the ordered-mode reorder buffer reached (0 when unordered).
+  [[nodiscard]] std::size_t reorder_highwater() const;
+
+  /// Prefetch scheduler counters; nullopt when prefetching is off.
+  [[nodiscard]] std::optional<prefetch::PrefetchScheduler::Stats> prefetch_stats() const;
+
  private:
   void worker_loop();
   /// Fetch + unpack, degrading the directive to raw on FetchError. The
@@ -110,6 +124,7 @@ class DataLoader {
   std::vector<std::uint32_t> order_;
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<prefetch::PrefetchScheduler> prefetcher_;  // null when depth 0
   bool started_ = false;
 
   mutable std::mutex mutex_;
@@ -121,6 +136,7 @@ class DataLoader {
   std::size_t next_position_ = 0;   // next epoch position to claim
   std::size_t delivered_ = 0;       // items handed to next()
   std::size_t produced_ = 0;        // items pushed by workers
+  std::size_t reorder_highwater_ = 0;  // peak reorder buffer size (ordered)
   Bytes traffic_;
   std::uint64_t degraded_ = 0;
   std::exception_ptr failure_;      // first worker failure, rethrown by next()

@@ -26,7 +26,36 @@ Seconds SimLink::schedule(Seconds ready, Bytes size) {
   free_at_ = start + duration;
   busy_ += duration;
   traffic_ += size;
-  return free_at_ + latency_ + extra_latency;
+  const Seconds arrival = free_at_ + latency_ + extra_latency;
+  if (track_inflight_) inflight_.emplace_back(ready.value(), arrival.value());
+  return arrival;
+}
+
+std::uint64_t SimLink::max_inflight() const {
+  // Sweep the interval endpoints: +1 at each ready, -1 at each arrival.
+  std::vector<std::pair<double, int>> events;
+  events.reserve(inflight_.size() * 2);
+  for (const auto& [ready, arrival] : inflight_) {
+    events.emplace_back(ready, +1);
+    events.emplace_back(arrival, -1);
+  }
+  // Ties resolve departures first so a back-to-back handoff does not count
+  // as overlap.
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  std::uint64_t current = 0;
+  std::uint64_t peak = 0;
+  for (const auto& [time, delta] : events) {
+    if (delta > 0) {
+      ++current;
+      peak = std::max(peak, current);
+    } else {
+      --current;
+    }
+  }
+  return peak;
 }
 
 void SimLink::reset() {
@@ -35,6 +64,7 @@ void SimLink::reset() {
   busy_ = Seconds(0.0);
   transfer_index_ = 0;
   faulted_ = 0;
+  inflight_.clear();
 }
 
 }  // namespace sophon::net

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/units.h"
 
@@ -46,6 +48,18 @@ class SimLink {
   /// Transfers whose timing an injected fault degraded since reset.
   [[nodiscard]] std::uint64_t faulted_transfers() const { return faulted_; }
 
+  /// Record each transfer's [ready, arrival] interval so max_inflight() can
+  /// answer how many requests contended for the link at once — the honesty
+  /// check that prefetch and demand traffic share the same FIFO pipe rather
+  /// than each getting a private one. Off by default: the record grows one
+  /// entry per transfer, which the hot simulation loops do not want.
+  void set_track_inflight(bool on) { track_inflight_ = on; }
+
+  /// Peak number of simultaneously outstanding transfers (ready but not yet
+  /// fully arrived) since reset. Requires set_track_inflight(true); returns
+  /// 0 when tracking was off.
+  [[nodiscard]] std::uint64_t max_inflight() const;
+
   /// Clear counters and availability (start of a new epoch/run). The fault
   /// injector stays wired, but its per-transfer index restarts, so an epoch
   /// replays the identical fault pattern.
@@ -60,6 +74,8 @@ class SimLink {
   const FaultInjector* faults_ = nullptr;
   std::uint64_t transfer_index_ = 0;
   std::uint64_t faulted_ = 0;
+  bool track_inflight_ = false;
+  std::vector<std::pair<double, double>> inflight_;  // (ready, arrival) per transfer
 };
 
 }  // namespace sophon::net

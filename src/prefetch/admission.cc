@@ -1,0 +1,26 @@
+#include "prefetch/admission.h"
+
+#include "cache/lru.h"
+
+namespace sophon::prefetch {
+
+Admission admit(const PrefetchOptions& options, std::uint64_t sample_id, std::uint8_t prefix_len,
+                std::optional<Bytes> expected_wire) {
+  if (options.cache != nullptr && options.cache->contains(sample_id)) {
+    return Admission::kSkip;
+  }
+  if (expected_wire.has_value()) {
+    if (options.deprioritize_below.count() > 0 && *expected_wire <= options.deprioritize_below) {
+      return Admission::kDeprioritize;
+    }
+    return Admission::kPrefetch;
+  }
+  // No size knowledge (real fetch path): an offloaded sample arrives as a
+  // post-crop tensor, typically orders of magnitude smaller than the blob.
+  if (options.deprioritize_offloaded && prefix_len > 0) {
+    return Admission::kDeprioritize;
+  }
+  return Admission::kPrefetch;
+}
+
+}  // namespace sophon::prefetch

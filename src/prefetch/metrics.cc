@@ -1,0 +1,15 @@
+#include "prefetch/metrics.h"
+
+namespace sophon::prefetch {
+
+void register_prefetch_metrics(MetricsRegistry& registry) {
+  for (const char* name : {kIssued, kHits, kLate, kFailed, kCancelled, kSkippedCached,
+                           kSkippedDeprioritized, kSkippedConsumed}) {
+    (void)registry.counter(name);
+  }
+  (void)registry.gauge(kBufferDepth);
+  (void)registry.gauge(kBufferBytes);
+  (void)registry.histogram(kLeadSeconds);
+}
+
+}  // namespace sophon::prefetch

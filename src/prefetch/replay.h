@@ -1,0 +1,65 @@
+// Discrete-event replay of an epoch under clairvoyant prefetching.
+//
+// The existing sim::simulate_epoch_flows models a loader that admits work
+// by batch window; for studying prefetch we need the sharper contrast the
+// real loader exhibits: W worker threads, each running one synchronous
+// fetch round trip (request latency → storage CPU → FIFO link → response
+// latency) before it can preprocess — so link latency serializes behind
+// compute on every sample. The prefetch replay keeps the same resources
+// (CpuPool, SimLink, GpuResource, identical SampleFlow costs) and only
+// changes who issues the fetch: a scheduler walking the known epoch order,
+// bounded by the same depth/bytes credits the real StagingBuffer enforces.
+// Depth 0 reproduces the pure demand loader, so one entry point yields both
+// sides of every comparison — same flows, same link, byte-identical
+// traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "prefetch/options.h"
+#include "sim/cluster.h"
+#include "sim/trace.h"
+#include "sim/trainer.h"
+
+namespace sophon::prefetch {
+
+struct ReplayOptions {
+  PrefetchOptions prefetch;  // depth 0 = demand baseline
+  /// Loader worker threads on the compute node (each holds at most one
+  /// sample: fetch, then preprocess).
+  std::size_t workers = 4;
+  /// Optional: sample ids served from compute-local storage (cache hits) —
+  /// no wire bytes, no storage CPU, never prefetched.
+  std::function<bool(std::uint64_t)> served_locally;
+};
+
+/// What the prefetch side of the replay did.
+struct ReplayStats {
+  std::uint64_t issued = 0;        // fetches the scheduler pipelined
+  std::uint64_t hits = 0;          // staged before the worker needed them
+  std::uint64_t late_hits = 0;     // worker blocked on an in-flight fetch
+  std::uint64_t demand_fetches = 0;  // fetched by workers (skipped/depth 0)
+  std::uint64_t served_locally = 0;  // cache hits, no fetch at all
+  std::uint64_t skipped_deprioritized = 0;
+  Seconds worker_stall;            // total time workers waited on arrivals
+  std::uint64_t max_inflight = 0;  // peak concurrent transfers on the link
+};
+
+struct ReplayResult {
+  sim::EpochStats epoch;
+  ReplayStats prefetch;
+};
+
+/// Replay one epoch. `flow(i)` gives catalog sample i's resource demands
+/// (same contract as simulate_epoch_flows, composes with sim::faulty_flow);
+/// the visit order is the seeded shuffle for (seed, epoch_index), identical
+/// to the loader's and the trainer's.
+[[nodiscard]] ReplayResult replay_epoch(std::size_t num_samples,
+                                        const std::function<sim::SampleFlow(std::size_t)>& flow,
+                                        const sim::ClusterConfig& cluster,
+                                        Seconds gpu_batch_time, std::uint64_t seed,
+                                        std::size_t epoch_index, const ReplayOptions& options,
+                                        const sim::TraceSink& trace = {});
+
+}  // namespace sophon::prefetch

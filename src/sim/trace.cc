@@ -56,6 +56,7 @@ Json TraceRecorder::to_json() const {
     record.set("link_done_s", row.link_done.value());
     record.set("ready_s", row.ready.value());
     record.set("wire_bytes", static_cast<std::int64_t>(row.wire.count()));
+    record.set("prefetched", row.prefetched);
     out.push_back(std::move(record));
   }
   return out;

@@ -25,6 +25,10 @@ struct SampleTimeline {
   Seconds link_done;             // last byte (plus latency) arrived
   Seconds ready;                 // compute-side preprocessing finished
   Bytes wire;
+  /// Issued by the clairvoyant prefetch scheduler rather than on demand
+  /// (always false for trainers without a prefetch replay). Last so that
+  /// positional initializers in older call sites keep meaning the same.
+  bool prefetched = false;
 };
 
 using TraceSink = std::function<void(const SampleTimeline&)>;

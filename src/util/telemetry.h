@@ -34,6 +34,17 @@ class Counter {
 class Gauge {
  public:
   void set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Raise the gauge to `value` if it is below it — a monotonic high-water
+  /// mark under concurrent writers. Mixing set() and set_max() on one gauge
+  /// forfeits the monotonicity, not the atomicity.
+  void set_max(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+  }
+
   [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

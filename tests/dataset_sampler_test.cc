@@ -88,5 +88,34 @@ TEST(MakeBatches, RejectsZeroBatchSize) {
   EXPECT_THROW((void)make_batches(10, 0), ContractViolation);
 }
 
+// The clairvoyance property the prefetcher leans on: the epoch order is a
+// pure function of (num_samples, seed, epoch). Whoever materializes it —
+// loader at start(), prefetch scheduler on its own thread, a replay weeks
+// later — and in whatever access pattern, it is the same permutation.
+TEST(EpochOrder, PermutationIndependentOfWhenAndWhereMaterialized) {
+  for (const std::uint64_t seed : {0ull, 42ull, 1234567ull}) {
+    for (const std::size_t epoch : {0u, 1u, 7u}) {
+      const EpochOrder loader_view(257, seed, epoch);
+      // A second, later materialization (fresh object, interleaved with
+      // other shuffles to perturb any hidden global state).
+      const EpochOrder decoy(99, seed + 1, epoch + 1);
+      (void)decoy.order();
+      const EpochOrder prefetcher_view(257, seed, epoch);
+
+      EXPECT_EQ(loader_view.order(), prefetcher_view.order());
+      // Element access agrees with bulk access at every position.
+      for (std::size_t pos = 0; pos < loader_view.size(); ++pos) {
+        EXPECT_EQ(loader_view.at(pos), prefetcher_view.order()[pos]);
+      }
+      // And it is a permutation of [0, n).
+      auto sorted = prefetcher_view.order();
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<std::uint32_t> expected(257);
+      std::iota(expected.begin(), expected.end(), 0u);
+      EXPECT_EQ(sorted, expected);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sophon::dataset

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
+
+#include "prefetch/metrics.h"
 
 namespace sophon {
 namespace {
@@ -86,6 +90,50 @@ TEST(Telemetry, ReferencesStayValidAcrossRegistryGrowth) {
   }
   first.increment();
   EXPECT_EQ(registry.counter("sophon_first").value(), 1u);
+}
+
+TEST(Telemetry, GaugeSetMaxIsMonotonic) {
+  Gauge gauge;
+  gauge.set_max(3.0);
+  EXPECT_EQ(gauge.value(), 3.0);
+  gauge.set_max(1.0);  // lower values do not win
+  EXPECT_EQ(gauge.value(), 3.0);
+  gauge.set_max(7.5);
+  EXPECT_EQ(gauge.value(), 7.5);
+}
+
+TEST(Telemetry, GaugeSetMaxIsThreadSafe) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 10000; ++i) {
+        gauge.set_max(static_cast<double>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge.value(), 79999.0);
+}
+
+TEST(Telemetry, PrefetchMetricsPreRegisteredAtZero) {
+  // The prefetch subsystem's convention: every metric it will ever touch is
+  // registered up front, so a scrape taken before any activity already
+  // lists the full set — at zero.
+  MetricsRegistry registry;
+  prefetch::register_prefetch_metrics(registry);
+  const std::string text = registry.expose();
+  for (const char* counter :
+       {"sophon_prefetch_issued", "sophon_prefetch_hits", "sophon_prefetch_late",
+        "sophon_prefetch_failed", "sophon_prefetch_cancelled", "sophon_prefetch_skipped_cached",
+        "sophon_prefetch_skipped_deprioritized", "sophon_prefetch_skipped_consumed"}) {
+    EXPECT_NE(text.find(std::string(counter) + "_total 0\n"), std::string::npos) << counter;
+  }
+  EXPECT_NE(text.find("sophon_prefetch_buffer_depth 0\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_prefetch_buffer_bytes 0\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_prefetch_lead_seconds_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("sophon_prefetch_lead_seconds_sum 0\n"), std::string::npos);
 }
 
 }  // namespace

@@ -4,24 +4,37 @@
 #   tools/check.sh            configure + build + full ctest (build/)
 #   tools/check.sh --tsan     same, in a ThreadSanitizer build (build-tsan/),
 #                             restricted to the concurrency-sensitive suites
-#                             (loader, resilience, net) — TSan slows the rest
-#                             down ~10x for no extra signal.
+#                             (loader, prefetch, resilience, net) — TSan slows
+#                             the rest down ~10x for no extra signal.
+#   tools/check.sh --asan     AddressSanitizer build (build-asan/), same suite
+#                             restriction — heap abuse hides in the same
+#                             concurrent code TSan watches for races.
 #
 # Each sanitizer needs its own build directory: objects built with
-# -fsanitize=thread are not link-compatible with a plain build.
+# -fsanitize=thread or -fsanitize=address are not link-compatible with a
+# plain build (or with each other).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+sanitized_targets=(
+  loader_test loader_degradation_test loader_prefetch_test
+  prefetch_staging_test prefetch_replay_test
+  net_resilience_test net_rpc_test net_link_test
+)
+sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc'
+
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSOPHON_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs" --target \
-    loader_test loader_degradation_test net_resilience_test net_rpc_test net_link_test
-  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-    -R 'Loader|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc'
+  cmake --build build-tsan -j "$jobs" --target "${sanitized_targets[@]}"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R "$sanitized_regex"
+elif [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -S . -DSOPHON_SANITIZE=address
+  cmake --build build-asan -j "$jobs" --target "${sanitized_targets[@]}"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -R "$sanitized_regex"
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan]" >&2
   exit 2
 else
   cmake -B build -S .

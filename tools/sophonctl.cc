@@ -5,6 +5,7 @@
 //                    --tg-seconds 14 --out plan.json
 //   sophonctl simulate --dataset openimages --samples 40000 --plan plan.json
 //                      --mbps 500 --storage-cores 8
+//                      [--prefetch-depth 16 --prefetch-budget-mib 64 --workers 4]
 //   sophonctl evaluate --dataset imagenet --samples 90000 --mbps 500
 //   sophonctl calibrate --repeats 3 --out coeffs.json
 //   sophonctl ingest --dataset openimages --samples 64 --dir /tmp/ds
@@ -26,6 +27,7 @@
 #include "net/fault.h"
 #include "net/resilience.h"
 #include "net/wire.h"
+#include "prefetch/replay.h"
 #include "sim/trace.h"
 #include "sim/trainer.h"
 #include "dataset/calibrate.h"
@@ -231,6 +233,40 @@ int cmd_simulate(const Flags& flags) {
     metrics.counter("sophon_fetch_failures").increment(replay.failed);
     metrics.gauge("sophon_fetch_backoff_seconds").set(replay.backoff.value());
     std::printf("%s", metrics.expose().c_str());
+  }
+
+  // Optional clairvoyant-prefetch comparison: replay the same flows through
+  // the worker-level loader model, demand vs. prefetch (see src/prefetch/).
+  if (const auto depth = static_cast<std::size_t>(flags.integer("prefetch-depth", 0));
+      depth > 0) {
+    prefetch::ReplayOptions replay_options;
+    replay_options.workers = static_cast<std::size_t>(flags.integer("workers", 4));
+    const auto gpu_batch = gpu.batch_time(cluster.batch_size);
+    const auto demand = prefetch::replay_epoch(catalog.size(), flow, cluster, gpu_batch, seed,
+                                               epoch, replay_options);
+    replay_options.prefetch.depth = depth;
+    replay_options.prefetch.bytes_budget =
+        Bytes::mib(flags.integer("prefetch-budget-mib", 0));
+    const auto prefetched = prefetch::replay_epoch(catalog.size(), flow, cluster, gpu_batch,
+                                                   seed, epoch, replay_options);
+    const double speedup =
+        demand.epoch.epoch_time.value() / prefetched.epoch.epoch_time.value();
+    std::printf(
+        "prefetch (depth %zu, %zu workers): epoch %.1f s -> %.1f s (%.2fx) | "
+        "traffic %s -> %s\n",
+        depth, replay_options.workers, demand.epoch.epoch_time.value(),
+        prefetched.epoch.epoch_time.value(), speedup,
+        human_bytes(demand.epoch.traffic).c_str(), human_bytes(prefetched.epoch.traffic).c_str());
+    const auto& ps = prefetched.prefetch;
+    std::printf(
+        "prefetch stats: %llu issued | %llu hits (%llu late) | %llu demand | "
+        "%llu deprioritized | stall %.1fs -> %.1fs | link inflight peak %llu\n",
+        static_cast<unsigned long long>(ps.issued), static_cast<unsigned long long>(ps.hits),
+        static_cast<unsigned long long>(ps.late_hits),
+        static_cast<unsigned long long>(ps.demand_fetches),
+        static_cast<unsigned long long>(ps.skipped_deprioritized),
+        demand.prefetch.worker_stall.value(), ps.worker_stall.value(),
+        static_cast<unsigned long long>(ps.max_inflight));
   }
   return 0;
 }
