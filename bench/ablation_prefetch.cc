@@ -23,6 +23,7 @@
 #include "net/wire.h"
 #include "prefetch/replay.h"
 #include "util/json.h"
+#include "util/telemetry.h"
 
 using namespace sophon;
 
@@ -65,7 +66,14 @@ int main() {
   std::size_t link_bound_wins = 0;
   std::size_t traffic_violations = 0;
 
+  // One registry accumulates across the whole sweep; per-bandwidth numbers
+  // come out of snapshot deltas instead of resetting the metrics between
+  // blocks — the same pattern a long-lived loader process uses per epoch.
+  MetricsRegistry metrics;
+  metrics.set_help("sophon_bench_replays", "Epoch replays executed by this sweep.");
+
   for (const double mbps : {500.0, 1000.0}) {
+    const MetricsSnapshot sweep_start = metrics.snapshot();
     auto cluster = config.cluster;
     cluster.bandwidth = Bandwidth::mbps(mbps);
     for (const double cache_gib : {0.0, 1.0}) {
@@ -93,9 +101,15 @@ int main() {
       prefetch::ReplayResult demand;
       for (const std::size_t depth : {0, 1, 4, 16, 64}) {
         options.prefetch.depth = depth;
-        const auto result = prefetch::replay_epoch(catalog.size(), flow, cluster, batch_time,
-                                                   kSeed, kEpoch, options);
+        const auto result = [&] {
+          metrics.counter("sophon_bench_replays").increment();
+          ScopedTimer timer(metrics.duration("sophon_bench_replay"));
+          return prefetch::replay_epoch(catalog.size(), flow, cluster, batch_time, kSeed, kEpoch,
+                                        options);
+        }();
         if (depth == 0) demand = result;
+        metrics.counter("sophon_bench_simulated_bytes")
+            .increment(static_cast<std::uint64_t>(result.epoch.traffic.count()));
 
         // Label the config's bottleneck from the demand-side cost vector.
         // Local preprocessing runs on the loader's workers, not the whole
@@ -144,6 +158,14 @@ int main() {
         rows.push_back(row);
       }
     }
+    const MetricsSnapshot sweep =
+        snapshot_delta(metrics.snapshot(), sweep_start);
+    std::printf("[%.0f Mbps] %llu replays, %.2f s replay wall-clock, %.2f GB simulated traffic "
+                "(snapshot delta)\n",
+                mbps,
+                static_cast<unsigned long long>(sweep.counters.at("sophon_bench_replays")),
+                sweep.durations.at("sophon_bench_replay").sum,
+                static_cast<double>(sweep.counters.at("sophon_bench_simulated_bytes")) / 1e9);
   }
 
   std::printf("%s\n", table.render().c_str());

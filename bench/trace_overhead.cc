@@ -1,0 +1,105 @@
+// Tracing overhead pin: the claim in src/obs/trace.h is that span guards are
+// cheap enough to stay compiled into the hot fetch/preprocess loops — under
+// 3% on a realistic per-op workload while tracing is enabled, and nothing
+// but a relaxed load and a branch while disabled. This bench measures all
+// three configurations on the same workload and self-verifies the bounds,
+// so a regression in the record path fails ctest instead of silently taxing
+// every traced run.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+using namespace sophon;
+
+namespace {
+
+constexpr std::size_t kIterations = 20000;
+constexpr std::size_t kRepetitions = 7;
+constexpr std::size_t kWorkloadSteps = 3000;  // ~ a few microseconds, a small pipeline op
+
+/// Stand-in for one pipeline op: a pure xorshift accumulation the compiler
+/// cannot fold away (the result is consumed by the caller).
+std::uint64_t workload(std::uint64_t seed) {
+  std::uint64_t x = seed | 1;
+  for (std::size_t i = 0; i < kWorkloadSteps; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+double ns_per_iter(std::uint64_t& sink, bool with_span) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    if (with_span) {
+      obs::Span span(obs::SpanCategory::kPreprocess, "bench_op");
+      span.args().sample = static_cast<std::int64_t>(i);
+      sink += workload(sink + i);
+    } else {
+      sink += workload(sink + i);
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+         static_cast<double>(kIterations);
+}
+
+}  // namespace
+
+int main() {
+  obs::Tracer& tracer = obs::global_tracer();
+  tracer.set_capacity(kIterations + 64);
+  std::uint64_t sink = 0x9e3779b97f4a7c15ull;
+
+  // Configs are interleaved within each repetition so frequency drift and
+  // other slow machine-state changes tax all three equally; best-of-N then
+  // discards the noise-contaminated repetitions.
+  double baseline = 1e18;
+  double disabled = 1e18;
+  double enabled = 1e18;
+  std::size_t drained = 0;
+  for (std::size_t rep = 0; rep < kRepetitions + 1; ++rep) {
+    tracer.set_enabled(false);
+    const double b = ns_per_iter(sink, false);
+    const double d = ns_per_iter(sink, true);
+    tracer.set_enabled(true);
+    const double e = ns_per_iter(sink, true);
+    tracer.set_enabled(false);
+    drained += tracer.drain().size();
+    if (rep == 0) continue;  // warm-up round: caches, rings, branch predictor
+    baseline = std::min(baseline, b);
+    disabled = std::min(disabled, d);
+    enabled = std::min(enabled, e);
+  }
+
+  const double disabled_pct = 100.0 * (disabled - baseline) / baseline;
+  const double enabled_pct = 100.0 * (enabled - baseline) / baseline;
+  std::printf("trace overhead (%zu iterations x %zu reps, ~%.0f ns workload, sink %llx)\n",
+              kIterations, kRepetitions, baseline, static_cast<unsigned long long>(sink));
+  std::printf("  baseline  %8.1f ns/iter\n", baseline);
+  std::printf("  disabled  %8.1f ns/iter  (%+.2f%%)\n", disabled, disabled_pct);
+  std::printf("  enabled   %8.1f ns/iter  (%+.2f%%, %.0f ns/span, %zu spans drained)\n", enabled,
+              enabled_pct, enabled - baseline, drained);
+
+  // Bounds: enabled tracing must stay under 3% on an op-sized workload;
+  // the disabled guard must be indistinguishable from no guard. Its true
+  // cost is one relaxed load and a branch (~1 ns), but the measured delta
+  // between two identical-cost loops jitters about +/-2% on a busy machine,
+  // so that is the bound — anything real (a lock, an allocation) would
+  // clear it by an order of magnitude.
+  const bool enabled_ok = enabled_pct < 3.0;
+  const bool disabled_ok = disabled_pct < 2.0;
+  if (enabled_ok && disabled_ok) {
+    std::printf("verified: enabled overhead %.2f%% < 3%%, disabled %.2f%% < 2%%\n", enabled_pct,
+                disabled_pct);
+    return 0;
+  }
+  std::printf("FAILED: enabled %.2f%% (limit 3%%), disabled %.2f%% (limit 2%%)\n", enabled_pct,
+              disabled_pct);
+  return 1;
+}

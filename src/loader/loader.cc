@@ -5,6 +5,7 @@
 
 #include "dataset/sampler.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "prefetch/metrics.h"
 #include "storage/server.h"
 #include "util/check.h"
@@ -53,7 +54,6 @@ void DataLoader::start() {
   if (options_.prefetch.depth > 0) {
     prefetch::PrefetchScheduler::Config config;
     config.options = options_.prefetch;
-    config.seed = options_.seed;
     config.epoch = options_.epoch;
     config.compress_quality = options_.compress_quality;
     config.metrics = options_.metrics;
@@ -63,7 +63,12 @@ void DataLoader::start() {
   }
   workers_.reserve(options_.num_workers);
   for (std::size_t w = 0; w < options_.num_workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, w] {
+      if (obs::global_tracer().enabled()) {
+        obs::global_tracer().set_thread_label("worker-" + std::to_string(w));
+      }
+      worker_loop();
+    });
   }
 }
 
@@ -104,10 +109,15 @@ void DataLoader::worker_loop() {
       if (prefetcher_) {
         // Blocks only while the position is actively in flight; a skipped,
         // failed or not-yet-reached position falls through to demand.
+        obs::Span span(obs::SpanCategory::kStagingWait, "staging_wait");
+        span.args().sample = static_cast<std::int64_t>(sample_id);
+        span.args().position = static_cast<std::int64_t>(position);
         if (auto claimed = prefetcher_->claim(position)) {
           response = std::move(claimed->response);
           staged = true;
+          span.args().prefetched = 1;
         } else {
+          span.args().prefetched = 0;
           const std::lock_guard<std::mutex> lock(mutex_);
           if (stopping_) return;  // claim was woken by shutdown, not a miss
         }
@@ -119,25 +129,43 @@ void DataLoader::worker_loop() {
         request.position = position;
         request.directive.prefix_len = static_cast<std::uint8_t>(prefix);
         if (prefix > 0) request.directive.compress_quality = options_.compress_quality;
+        obs::Span span(obs::SpanCategory::kFetch, "fetch");
+        span.args().sample = static_cast<std::int64_t>(sample_id);
+        span.args().position = static_cast<std::int64_t>(position);
+        span.args().prefix = static_cast<std::int32_t>(prefix);
         std::tie(response, degraded) = fetch_with_degradation(request);
+        span.args().bytes = static_cast<std::int64_t>(response.wire_bytes().count());
+        span.args().degraded = degraded ? 1 : 0;
       }
 
       auto payload = net::unpack_response(response);
       SOPHON_CHECK_MSG(payload.has_value(), "malformed fetch response");
-      auto finished = pipeline_.run_seeded(
-          std::move(*payload), response.stage, pipeline_.size(),
-          storage::augmentation_seed(options_.seed, options_.epoch, sample_id));
+      image::Tensor tensor;
+      {
+        obs::Span span(obs::SpanCategory::kPreprocess, "preprocess");
+        span.args().sample = static_cast<std::int64_t>(sample_id);
+        span.args().position = static_cast<std::int64_t>(position);
+        span.args().prefix = static_cast<std::int32_t>(response.stage);
+        span.args().prefetched = staged ? 1 : 0;
+        auto finished = pipeline_.run_seeded(
+            std::move(*payload), response.stage, pipeline_.size(),
+            storage::augmentation_seed(options_.seed, options_.epoch, sample_id));
+        tensor = std::get<image::Tensor>(std::move(finished));
+      }
 
       LoadedSample item;
       item.sample_id = sample_id;
       item.position = position;
       item.wire_bytes = response.wire_bytes();
       item.degraded = degraded;
-      item.tensor = std::get<image::Tensor>(std::move(finished));
+      item.tensor = std::move(tensor);
       if (degraded && options_.metrics != nullptr) {
         options_.metrics->counter("sophon_degraded_samples").increment();
       }
 
+      obs::Span collate_span(obs::SpanCategory::kCollate, "collate");
+      collate_span.args().sample = static_cast<std::int64_t>(sample_id);
+      collate_span.args().position = static_cast<std::int64_t>(position);
       std::unique_lock<std::mutex> lock(mutex_);
       if (options_.ordered) {
         // The position the consumer waits for must always be admitted, or a

@@ -66,7 +66,9 @@ class DataLoader {
     bool degrade_on_failure = true;
     /// Optional telemetry: reports sophon_degraded_samples and
     /// sophon_loader_fetch_errors counters plus the reorder buffer's
-    /// high-water gauge (registry must outlive the loader).
+    /// high-water gauge; with prefetching on, the scheduler pre-registers
+    /// and feeds the sophon_prefetch_* set too (registry must outlive the
+    /// loader).
     MetricsRegistry* metrics = nullptr;
     /// Clairvoyant prefetching over the epoch order: depth > 0 runs a
     /// scheduler thread that stages fetches ahead of the workers (see

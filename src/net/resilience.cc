@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -47,7 +48,13 @@ FetchResponse ResilientStorageService::fetch(const FetchRequest& request) {
     if (metrics_ != nullptr) metrics_->counter("sophon_fetch_attempts").increment();
     bool corrupt = false;
     try {
-      auto response = inner_.fetch(request);
+      auto response = [&] {
+        obs::Span span(obs::SpanCategory::kFetch, "fetch_attempt");
+        span.args().sample = static_cast<std::int64_t>(request.sample_id);
+        span.args().prefix = static_cast<std::int32_t>(request.directive.prefix_len);
+        span.args().retries = static_cast<std::int32_t>(attempt);
+        return inner_.fetch(request);
+      }();
       // Frame-validate before handing the payload upward: a response that
       // cannot be deserialised is a corrupt transfer, not a success.
       if (deserialize_sample(response.payload).has_value()) return response;
@@ -86,6 +93,9 @@ FetchResponse ResilientStorageService::fetch(const FetchRequest& request) {
       metrics_->histogram("sophon_fetch_backoff").observe(backoff);
     }
     if (policy_.sleep && backoff.value() > 0.0) {
+      obs::Span span(obs::SpanCategory::kFetch, "retry_backoff");
+      span.args().sample = static_cast<std::int64_t>(request.sample_id);
+      span.args().retries = static_cast<std::int32_t>(attempt + 1);
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff.value()));
     }
   }

@@ -1,0 +1,127 @@
+#include "obs/replay_trace.h"
+
+#include <algorithm>
+
+namespace sophon::obs {
+
+namespace {
+
+struct StorageSpan {
+  Seconds begin;
+  Seconds end;
+  SpanArgs args;
+};
+
+bool is_cache_hit(const sim::SampleTimeline& row) {
+  return !row.prefetched && row.wire.count() == 0 && row.link_done <= row.claimed;
+}
+
+}  // namespace
+
+void build_replay_trace(const std::vector<sim::SampleTimeline>& rows, const SampleCostFn& costs,
+                        Tracer& tracer) {
+  if (!tracer.enabled()) return;
+
+  std::vector<std::uint32_t> worker_tracks;
+  const auto worker_track = [&](std::int32_t worker) {
+    const auto index = static_cast<std::size_t>(worker);
+    while (worker_tracks.size() <= index) {
+      worker_tracks.push_back(
+          tracer.track("worker-" + std::to_string(worker_tracks.size())));
+    }
+    return worker_tracks[index];
+  };
+
+  std::vector<StorageSpan> storage_spans;
+
+  for (const auto& row : rows) {
+    if (row.worker < 0) continue;
+    const std::uint32_t track = worker_track(row.worker);
+
+    SpanArgs args;
+    args.sample = static_cast<std::int64_t>(row.sample_index);
+    args.position = static_cast<std::int64_t>(row.position);
+    const SampleOpCosts detail = costs ? costs(row.sample_index) : SampleOpCosts{};
+    args.prefix = detail.prefix;
+
+    const bool local = is_cache_hit(row);
+    if (local) {
+      args.cache_hit = 1;
+    } else {
+      args.bytes = static_cast<std::int64_t>(row.wire.count());
+      args.prefetched = row.prefetched ? 1 : 0;
+      if (row.prefetched) {
+        // Prefetched: the worker only waits when the fetch is still in
+        // flight at claim time (a late hit).
+        if (row.link_done > row.claimed) {
+          tracer.record_at(track, SpanCategory::kStagingWait, "staging_wait", row.claimed,
+                           row.link_done, args);
+        }
+      } else {
+        // Demand: the worker runs the whole round trip synchronously.
+        tracer.record_at(track, SpanCategory::kFetch, "fetch", row.claimed, row.link_done, args);
+        if (row.issued > row.claimed) {
+          tracer.record_at(track, SpanCategory::kFetch, "retry_backoff", row.claimed, row.issued,
+                           args);
+        }
+      }
+      if (detail.storage_prefix.value() > 0.0 && row.storage_done > row.issued) {
+        StorageSpan prep;
+        prep.end = row.storage_done;
+        prep.begin = std::max(row.issued,
+                              row.storage_done - std::min(detail.storage_prefix,
+                                                          row.storage_done - row.issued));
+        prep.args = args;
+        storage_spans.push_back(prep);
+      }
+    }
+
+    // Compute window: [claim-or-arrival, ready]. Per-op children are laid
+    // end-to-end finishing at ready; any core-queueing gap lands at the
+    // front as parent self time (still preprocess).
+    const Seconds start = std::max(row.claimed, row.link_done);
+    if (row.ready > start) {
+      tracer.record_at(track, SpanCategory::kPreprocess, "preprocess", start, row.ready, args);
+      if (!detail.compute_ops.empty()) {
+        Seconds total;
+        for (const auto& [name, cost] : detail.compute_ops) total += cost;
+        const double window = (row.ready - start).value();
+        const double scale =
+            total.value() > window && total.value() > 0.0 ? window / total.value() : 1.0;
+        Seconds cursor = row.ready - total * scale;
+        for (const auto& [name, cost] : detail.compute_ops) {
+          const Seconds op_end = cursor + cost * scale;
+          tracer.record_at(track, SpanCategory::kPreprocess, name, cursor, op_end, args);
+          cursor = op_end;
+        }
+      }
+    }
+  }
+
+  // Lay storage prefix executions onto as few non-overlapping lanes as a
+  // left-endpoint greedy needs (exact for fixed intervals), so folding a
+  // lane's self time sums to its busy time.
+  std::sort(storage_spans.begin(), storage_spans.end(),
+            [](const StorageSpan& a, const StorageSpan& b) { return a.begin < b.begin; });
+  std::vector<std::pair<std::uint32_t, Seconds>> lanes;  // (track, free-at)
+  for (const auto& span : storage_spans) {
+    std::uint32_t track = 0;
+    bool placed = false;
+    for (auto& [lane_track, free_at] : lanes) {
+      if (free_at <= span.begin) {
+        track = lane_track;
+        free_at = span.end;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      track = tracer.track("storage-" + std::to_string(lanes.size()));
+      lanes.emplace_back(track, span.end);
+    }
+    tracer.record_at(track, SpanCategory::kStoragePrep, "storage_prefix", span.begin, span.end,
+                     span.args);
+  }
+}
+
+}  // namespace sophon::obs

@@ -1,0 +1,52 @@
+// Builds worker-lane spans from a prefetch-replay sample timeline.
+//
+// The discrete-event replay (prefetch::replay_epoch) already computes every
+// per-sample timestamp — claim, issue, storage done, arrival, ready — but
+// emits them as flat sim::SampleTimeline rows. This builder translates each
+// row into the same span vocabulary the threaded loader records live, on
+// virtual-time tracks: a demand fetch becomes a kFetch stall on the
+// consuming worker's lane, a late prefetch hit a kStagingWait, and the
+// compute window a kPreprocess parent subdivided into per-op child spans
+// using the pipeline's analytic costs (supplied by the caller, since the
+// replay itself only knows the summed compute cost). Storage-side prefix
+// executions are laid out greedily onto "storage-N" lanes so spans within a
+// lane never overlap and self-time folding stays exact.
+//
+// The result is one coherent Chrome trace — worker lanes, storage lanes,
+// plus the "link"/"gpu" tracks the simulation components record directly —
+// that EpochReport can fold into the stall attribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/trace.h"
+#include "util/units.h"
+
+namespace sophon::obs {
+
+/// Per-sample cost detail the timeline rows lack, in execution order.
+struct SampleOpCosts {
+  /// Compute-side (suffix) pipeline ops: (op name, analytic cost).
+  std::vector<std::pair<std::string, Seconds>> compute_ops;
+  /// Storage-side prefix cost (zero when the sample was fetched raw).
+  Seconds storage_prefix;
+  /// Offload prefix depth of the directive (-1 = unknown).
+  std::int32_t prefix = -1;
+};
+
+/// Maps a catalog sample id to its cost detail.
+using SampleCostFn = std::function<SampleOpCosts(std::uint32_t sample_index)>;
+
+/// Record spans for every timeline row onto `tracer` (virtual time). Rows
+/// without a worker lane (worker < 0) are skipped. `costs` may be empty, in
+/// which case preprocess spans are emitted whole, without per-op children,
+/// and no storage lanes are laid out.
+void build_replay_trace(const std::vector<sim::SampleTimeline>& rows, const SampleCostFn& costs,
+                        Tracer& tracer);
+
+}  // namespace sophon::obs

@@ -27,6 +27,7 @@ SampleData Pipeline::run(SampleData sample, std::size_t from_stage, std::size_t 
                          Rng& rng) const {
   SOPHON_CHECK(from_stage <= to_stage && to_stage <= ops_.size());
   for (std::size_t i = from_stage; i < to_stage; ++i) {
+    obs::Span span(obs::SpanCategory::kPreprocess, ops_[i]->name());
     sample = ops_[i]->apply(std::move(sample), rng);
   }
   return sample;
@@ -37,9 +38,11 @@ SampleData Pipeline::run_all(SampleData sample, Rng& rng) const {
 }
 
 SampleData Pipeline::run_seeded(SampleData sample, std::size_t from_stage, std::size_t to_stage,
-                                std::uint64_t stream_seed) const {
+                                std::uint64_t stream_seed,
+                                obs::SpanCategory span_category) const {
   SOPHON_CHECK(from_stage <= to_stage && to_stage <= ops_.size());
   for (std::size_t i = from_stage; i < to_stage; ++i) {
+    obs::Span span(span_category, ops_[i]->name());
     Rng op_rng(derive_seed(stream_seed, static_cast<std::uint64_t>(i)));
     sample = ops_[i]->apply(std::move(sample), op_rng);
   }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pipeline/op.h"
 
 namespace sophon::pipeline {
@@ -37,8 +38,11 @@ class Pipeline {
   /// the result is identical no matter where the pipeline is cut — the
   /// property that lets the storage node run a prefix and the compute node
   /// the suffix while preserving the exact augmentations of local execution.
-  [[nodiscard]] SampleData run_seeded(SampleData sample, std::size_t from_stage,
-                                      std::size_t to_stage, std::uint64_t stream_seed) const;
+  /// Each op records a span of `span_category` when tracing is enabled; the
+  /// storage node passes kStoragePrep so prefix work is attributed to it.
+  [[nodiscard]] SampleData run_seeded(
+      SampleData sample, std::size_t from_stage, std::size_t to_stage, std::uint64_t stream_seed,
+      obs::SpanCategory span_category = obs::SpanCategory::kPreprocess) const;
 
   /// Analytic shape after `stage` ops, given the raw shape.
   [[nodiscard]] SampleShape shape_at(const SampleShape& raw, std::size_t stage) const;

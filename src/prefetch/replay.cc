@@ -6,6 +6,7 @@
 
 #include "dataset/sampler.h"
 #include "net/link.h"
+#include "obs/trace.h"
 #include "prefetch/admission.h"
 #include "sim/resources.h"
 #include "util/check.h"
@@ -138,6 +139,8 @@ ReplayResult replay_epoch(std::size_t num_samples,
     sim::SampleTimeline row;
     row.sample_index = static_cast<std::uint32_t>(id);
     row.position = position;
+    row.worker = static_cast<std::int32_t>(worker);
+    row.claimed = t0;
 
     Seconds done;
     if (is_local(id)) {
@@ -197,7 +200,14 @@ ReplayResult replay_epoch(std::size_t num_samples,
 
     batch_ready = std::max(batch_ready, done);
     if ((position + 1) % cluster.batch_size == 0 || position + 1 == num_samples) {
+      const Seconds gpu_start = std::max(batch_ready, gpu.free_at());
       epoch_end = gpu.schedule(batch_ready, gpu_batch_time);
+      if (obs::global_tracer().enabled()) {
+        obs::SpanArgs args;
+        args.position = static_cast<std::int64_t>(position);
+        obs::global_tracer().record_at(obs::global_tracer().track("gpu"), obs::SpanCategory::kGpu,
+                                       "gpu_batch", gpu_start, epoch_end, args);
+      }
       batch_ready = Seconds(0.0);
       ++epoch.batches;
     }

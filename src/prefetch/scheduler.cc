@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "prefetch/admission.h"
 #include "prefetch/metrics.h"
 #include "util/check.h"
@@ -29,6 +30,7 @@ void PrefetchScheduler::start() {
 }
 
 void PrefetchScheduler::run() {
+  if (obs::global_tracer().enabled()) obs::global_tracer().set_thread_label("prefetcher");
   for (std::size_t position = 0; position < order_.size(); ++position) {
     if (stop_.load(std::memory_order_relaxed)) return;
 
@@ -73,7 +75,16 @@ void PrefetchScheduler::run() {
     request.directive.prefix_len = prefix;
     if (prefix > 0) request.directive.compress_quality = config_.compress_quality;
     try {
-      auto response = service_.fetch(request);
+      auto response = [&] {
+        obs::Span span(obs::SpanCategory::kFetch, "prefetch_fetch");
+        span.args().sample = static_cast<std::int64_t>(sample_id);
+        span.args().position = static_cast<std::int64_t>(position);
+        span.args().prefix = static_cast<std::int32_t>(prefix);
+        span.args().prefetched = 1;
+        auto fetched = service_.fetch(request);
+        span.args().bytes = static_cast<std::int64_t>(fetched.wire_bytes().count());
+        return fetched;
+      }();
       issued_.fetch_add(1, std::memory_order_relaxed);
       if (config_.metrics != nullptr) config_.metrics->counter(kIssued).increment();
       buffer_.commit(position, std::move(response));

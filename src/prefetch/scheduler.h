@@ -28,7 +28,9 @@ class PrefetchScheduler {
  public:
   struct Config {
     PrefetchOptions options;
-    std::uint64_t seed = 0;
+    // No seed here on purpose: the scheduler never shuffles — it walks the
+    // `order` vector handed to the constructor, which the caller derived
+    // from its own (seed, epoch).
     std::uint64_t epoch = 0;
     std::uint8_t compress_quality = 0;  // applied to offloaded fetches, as in the loader
     MetricsRegistry* metrics = nullptr;

@@ -57,6 +57,10 @@ Json TraceRecorder::to_json() const {
     record.set("ready_s", row.ready.value());
     record.set("wire_bytes", static_cast<std::int64_t>(row.wire.count()));
     record.set("prefetched", row.prefetched);
+    if (row.worker >= 0) {
+      record.set("worker", static_cast<std::int64_t>(row.worker));
+      record.set("claimed_s", row.claimed.value());
+    }
     out.push_back(std::move(record));
   }
   return out;

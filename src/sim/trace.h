@@ -8,6 +8,7 @@
 // plotting.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -26,9 +27,15 @@ struct SampleTimeline {
   Seconds ready;                 // compute-side preprocessing finished
   Bytes wire;
   /// Issued by the clairvoyant prefetch scheduler rather than on demand
-  /// (always false for trainers without a prefetch replay). Last so that
-  /// positional initializers in older call sites keep meaning the same.
+  /// (always false for trainers without a prefetch replay). Appended after
+  /// the timestamps so that positional initializers in older call sites
+  /// keep meaning the same — as are the lane fields below.
   bool prefetched = false;
+  /// Worker lane that consumed the sample (-1 for trainers without worker
+  /// lanes) and the time that lane claimed the sample (its previous sample's
+  /// ready time). claimed <= issued; issued - claimed is injected delay.
+  std::int32_t worker = -1;
+  Seconds claimed;
 };
 
 using TraceSink = std::function<void(const SampleTimeline&)>;

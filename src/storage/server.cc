@@ -2,6 +2,7 @@
 
 #include "codec/sjpg.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace sophon::storage {
@@ -32,9 +33,13 @@ net::FetchResponse StorageServer::fetch(const net::FetchRequest& request) {
         Bytes(static_cast<std::int64_t>(blob->size())), hdr->width, hdr->height, hdr->channels);
     prefix_cost = pipeline_.prefix_cost(raw, prefix, cost_model_);
 
+    obs::Span span(obs::SpanCategory::kStoragePrep, "storage_prefix");
+    span.args().sample = static_cast<std::int64_t>(request.sample_id);
+    span.args().prefix = static_cast<std::int32_t>(prefix);
     payload = pipeline_.run_seeded(
         std::move(payload), 0, prefix,
-        augmentation_seed(options_.seed, request.epoch, request.sample_id));
+        augmentation_seed(options_.seed, request.epoch, request.sample_id),
+        obs::SpanCategory::kStoragePrep);
   }
 
   {

@@ -89,25 +89,54 @@ HistogramStat& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+void MetricsRegistry::set_help(const std::string& name, std::string help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = std::move(help);
+}
+
+namespace {
+
+// One `# HELP` + `# TYPE` header per metric family, as the Prometheus text
+// format requires before the family's first sample line.
+void family_header(std::ostringstream& os, const std::map<std::string, std::string>& help,
+                   const std::string& registered_name, const std::string& family_name,
+                   const char* type, const char* fallback_help) {
+  const auto it = help.find(registered_name);
+  os << "# HELP " << family_name << ' '
+     << (it != help.end() ? it->second.c_str() : fallback_help) << '\n';
+  os << "# TYPE " << family_name << ' ' << type << '\n';
+}
+
+}  // namespace
+
 std::string MetricsRegistry::expose() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, counter] : counters_) {
+    family_header(os, help_, name, name + "_total", "counter", "Monotonic event count.");
     os << name << "_total " << counter->value() << '\n';
   }
   for (const auto& [name, gauge] : gauges_) {
+    family_header(os, help_, name, name, "gauge", "Last-written value.");
     os << name << ' ' << gauge->value() << '\n';
   }
   for (const auto& [name, duration] : durations_) {
     const auto stats = duration->snapshot();
+    family_header(os, help_, name, name + "_seconds", "summary",
+                  "Accumulated span durations in seconds.");
     os << name << "_seconds_count " << stats.count() << '\n';
     os << name << "_seconds_sum " << stats.sum() << '\n';
     if (stats.count() > 0) {
+      family_header(os, help_, name, name + "_seconds_min", "gauge",
+                    "Shortest observed span in seconds.");
       os << name << "_seconds_min " << stats.min() << '\n';
+      family_header(os, help_, name, name + "_seconds_max", "gauge",
+                    "Longest observed span in seconds.");
       os << name << "_seconds_max " << stats.max() << '\n';
     }
   }
   for (const auto& [name, histogram] : histograms_) {
+    family_header(os, help_, name, name, "histogram", "Span duration distribution in seconds.");
     const auto& bounds = histogram->bounds();
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       os << name << "_bucket{le=\"" << bounds[i] << "\"} " << histogram->cumulative(i) << '\n';
@@ -117,6 +146,49 @@ std::string MetricsRegistry::expose() const {
     os << name << "_sum " << histogram->sum() << '\n';
   }
   return os.str();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, duration] : durations_) {
+    const auto stats = duration->snapshot();
+    snap.durations[name] = {stats.count(), stats.sum()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = {histogram->count(), histogram->sum()};
+  }
+  return snap;
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& later, const MetricsSnapshot& earlier) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : later.counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t base = it != earlier.counters.end() ? it->second : 0;
+    delta.counters[name] = value >= base ? value - base : 0;
+  }
+  delta.gauges = later.gauges;  // instantaneous: the delta is the current reading
+  const auto dist_delta = [](const MetricsSnapshot::Dist& now,
+                             const MetricsSnapshot::Dist* base) {
+    MetricsSnapshot::Dist d;
+    if (base == nullptr) return now;
+    d.count = now.count >= base->count ? now.count - base->count : 0;
+    d.sum = now.sum >= base->sum ? now.sum - base->sum : 0.0;
+    return d;
+  };
+  for (const auto& [name, value] : later.durations) {
+    const auto it = earlier.durations.find(name);
+    delta.durations[name] = dist_delta(value, it != earlier.durations.end() ? &it->second : nullptr);
+  }
+  for (const auto& [name, value] : later.histograms) {
+    const auto it = earlier.histograms.find(name);
+    delta.histograms[name] =
+        dist_delta(value, it != earlier.histograms.end() ? &it->second : nullptr);
+  }
+  return delta;
 }
 
 ScopedTimer::ScopedTimer(DurationStat& stat)

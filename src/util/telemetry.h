@@ -62,9 +62,11 @@ class DurationStat {
   RunningStats stats_;
 };
 
-/// Cumulative-bucket latency histogram (Prometheus semantics): observe()
-/// files a duration into every bucket whose upper bound it does not exceed.
-/// Bounds are fixed at construction; thread-safe.
+/// Fixed-bucket latency histogram with Prometheus read semantics: observe()
+/// files a duration into the one bucket it falls in, and cumulative() /
+/// expose() fold the per-bucket counts into the cumulative "observations
+/// <= bound" form Prometheus expects. Bounds are fixed at construction;
+/// thread-safe.
 class HistogramStat {
  public:
   /// `bounds` are the buckets' inclusive upper edges in seconds, strictly
@@ -91,6 +93,28 @@ class HistogramStat {
   double sum_ = 0.0;
 };
 
+/// Point-in-time copy of a registry's values, cheap to take and subtract.
+/// Lets a bench or an epoch report measure "this interval only" against a
+/// shared registry without resetting global state under concurrent writers.
+struct MetricsSnapshot {
+  /// count/sum pair shared by durations and histograms.
+  struct Dist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Dist> durations;
+  std::map<std::string, Dist> histograms;
+};
+
+/// later - earlier, per metric: counters, duration and histogram count/sum
+/// subtract (clamped at zero for metrics born after `earlier`); gauges are
+/// instantaneous, so the delta keeps the later value.
+[[nodiscard]] MetricsSnapshot snapshot_delta(const MetricsSnapshot& later,
+                                             const MetricsSnapshot& earlier);
+
 /// Named-metric registry. Metric objects are created on first use and live
 /// as long as the registry; returned references stay valid.
 class MetricsRegistry {
@@ -100,10 +124,20 @@ class MetricsRegistry {
   [[nodiscard]] DurationStat& duration(const std::string& name);
   [[nodiscard]] HistogramStat& histogram(const std::string& name);
 
-  /// Prometheus-ish plain-text dump, keys sorted for diffability:
-  ///   sophon_fetch_total 1234
-  ///   sophon_fetch_seconds_sum 1.5
+  /// Attach a `# HELP` string to a metric name (any kind); expose() falls
+  /// back to a generated one when none was set.
+  void set_help(const std::string& name, std::string help);
+
+  /// Prometheus text exposition, families sorted for diffability. Each
+  /// family gets `# HELP`/`# TYPE` lines; counters expose `<name>_total`,
+  /// durations a `<name>_seconds` summary (with min/max as companion
+  /// gauges), histograms cumulative `_bucket{le=...}` samples ending in
+  /// `+Inf` plus `_sum`/`_count`.
   [[nodiscard]] std::string expose() const;
+
+  /// Copy out every metric's current value (gauges last-written, counters
+  /// and distributions cumulative since construction).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
   mutable std::mutex mutex_;
@@ -111,6 +145,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<DurationStat>> durations_;
   std::map<std::string, std::unique_ptr<HistogramStat>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 /// RAII span timer feeding a DurationStat with wall-clock time.

@@ -1,0 +1,196 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/replay_trace.h"
+#include "prefetch/replay.h"
+#include "sim/cluster.h"
+#include "sim/trace.h"
+
+namespace sophon::obs {
+namespace {
+
+using Labels = std::vector<std::pair<std::uint32_t, std::string>>;
+
+SpanEvent make_span(std::uint32_t track, SpanCategory category, const char* name, double begin_s,
+                    double end_s) {
+  SpanEvent span;
+  std::snprintf(span.name, sizeof(span.name), "%s", name);
+  span.category = category;
+  span.track = track;
+  span.begin_ns = static_cast<std::uint64_t>(begin_s * 1e9);
+  span.end_ns = static_cast<std::uint64_t>(end_s * 1e9);
+  return span;
+}
+
+TEST(EpochReport, NestedSpansFoldIntoSelfTime) {
+  // A demand fetch that encloses the storage-side prefix execution (loopback
+  // RPC on the worker thread) charges only the wire-and-wait portion to
+  // fetch; the prefix time is storage busy, not worker stall.
+  const Labels labels{{0, "worker-0"}};
+  const std::vector<SpanEvent> spans{
+      make_span(0, SpanCategory::kFetch, "fetch", 0.0, 10.0),
+      make_span(0, SpanCategory::kStoragePrep, "storage_prefix", 2.0, 6.0),
+  };
+  const auto report = EpochReport::build(spans, labels, Seconds(12.0));
+  ASSERT_EQ(report.workers().size(), 1u);
+  const auto& worker = report.workers()[0];
+  EXPECT_NEAR(worker.fetch_stall.value(), 6.0, 1e-9);
+  EXPECT_NEAR(report.storage_busy().value(), 4.0, 1e-9);
+  EXPECT_NEAR(worker.idle.value(), 6.0, 1e-9);
+  EXPECT_EQ(worker.spans, 2u);
+}
+
+TEST(EpochReport, SiblingSpansAccumulateWithoutNesting) {
+  const Labels labels{{0, "worker-0"}};
+  const std::vector<SpanEvent> spans{
+      make_span(0, SpanCategory::kPreprocess, "decode", 0.0, 2.0),
+      make_span(0, SpanCategory::kPreprocess, "resize", 2.0, 5.0),
+      make_span(0, SpanCategory::kCollate, "collate", 5.0, 6.0),
+  };
+  const auto report = EpochReport::build(spans, labels, Seconds(6.0));
+  ASSERT_EQ(report.workers().size(), 1u);
+  const auto& worker = report.workers()[0];
+  EXPECT_NEAR(worker.preprocess.value(), 5.0, 1e-9);
+  EXPECT_NEAR(worker.collate.value(), 1.0, 1e-9);
+  EXPECT_NEAR(worker.idle.value(), 0.0, 1e-9);
+  EXPECT_NEAR(worker.total().value(), 6.0, 1e-9);
+}
+
+TEST(EpochReport, NonWorkerTracksFeedObservedCosts) {
+  const Labels labels{{0, "worker-0"}, {1, "link"}, {2, "gpu"}};
+  const std::vector<SpanEvent> spans{
+      make_span(0, SpanCategory::kPreprocess, "preprocess", 0.0, 2.0),
+      make_span(1, SpanCategory::kTransfer, "transfer", 0.0, 1.0),
+      make_span(1, SpanCategory::kTransfer, "transfer", 1.0, 3.0),
+      make_span(2, SpanCategory::kGpu, "gpu_batch", 0.0, 0.5),
+  };
+  const auto report = EpochReport::build(spans, labels, Seconds(3.0));
+  EXPECT_NEAR(report.transfer_busy().value(), 3.0, 1e-9);
+  EXPECT_NEAR(report.gpu_busy().value(), 0.5, 1e-9);
+  const auto observed = report.observed();
+  EXPECT_NEAR(observed.t_net.value(), 3.0, 1e-9);
+  EXPECT_NEAR(observed.t_cc.value(), 2.0, 1e-9);
+  EXPECT_NEAR(observed.t_g.value(), 0.5, 1e-9);
+  EXPECT_EQ(report.observed_bottleneck(), "net");
+}
+
+TEST(EpochReport, BottleneckTieOrderPrefersNet) {
+  EpochReport::Costs costs{Seconds(1.0), Seconds(1.0), Seconds(1.0), Seconds(1.0)};
+  EXPECT_EQ(EpochReport::bottleneck_of(costs), "net");
+  costs.t_net = Seconds(0.5);
+  EXPECT_EQ(EpochReport::bottleneck_of(costs), "gpu");
+  costs.t_g = Seconds(0.5);
+  EXPECT_EQ(EpochReport::bottleneck_of(costs), "storage-cpu");
+  costs.t_cs = Seconds(0.5);
+  EXPECT_EQ(EpochReport::bottleneck_of(costs), "cpu");
+}
+
+TEST(EpochReport, RenderReportsAgreementAndDivergence) {
+  const Labels labels{{0, "worker-0"}, {1, "link"}};
+  const std::vector<SpanEvent> spans{
+      make_span(0, SpanCategory::kPreprocess, "preprocess", 0.0, 1.0),
+      make_span(1, SpanCategory::kTransfer, "transfer", 0.0, 4.0),
+  };
+  auto report = EpochReport::build(spans, labels, Seconds(4.0));
+  report.set_predicted(report.observed());
+  EXPECT_NE(report.render().find("agreement"), std::string::npos);
+  // A prediction that names a different bottleneck must be flagged loudly.
+  report.set_predicted(EpochReport::Costs{Seconds(10.0), Seconds(0.1), Seconds(0.1), Seconds(0.1)});
+  EXPECT_NE(report.render().find("DIVERGENCE"), std::string::npos);
+}
+
+TEST(EpochReport, ToJsonCarriesWorkersAndCosts) {
+  const Labels labels{{0, "worker-0"}, {1, "worker-1"}, {2, "link"}};
+  const std::vector<SpanEvent> spans{
+      make_span(0, SpanCategory::kFetch, "fetch", 0.0, 1.0),
+      make_span(1, SpanCategory::kPreprocess, "preprocess", 0.0, 2.0),
+      make_span(2, SpanCategory::kTransfer, "transfer", 0.0, 1.0),
+  };
+  auto report = EpochReport::build(spans, labels, Seconds(2.0));
+  Json doc = report.to_json();
+  EXPECT_EQ(doc.at("kind").as_string(), "sophon.epoch_report");
+  EXPECT_EQ(doc.at("workers").size(), 2u);
+  EXPECT_TRUE(doc.at("observed").has("bottleneck"));
+  EXPECT_FALSE(doc.has("predicted"));
+  report.set_predicted(report.observed());
+  EXPECT_TRUE(report.to_json().has("predicted"));
+}
+
+TEST(EpochReport, ReplayReconciliationWithinOnePercent) {
+  // The acceptance bar for the whole subsystem: fold the trace of a
+  // deterministic replay and the per-worker/per-resource totals must
+  // reconcile with the replay's own accounting to within 1%.
+  constexpr std::size_t kSamples = 512;
+  constexpr std::size_t kWorkers = 4;
+  const Seconds compute_cost(0.010);
+  const Bytes wire(1 << 20);
+
+  sim::ClusterConfig cluster;
+  cluster.compute_cores = 16;  // >= workers: no core queueing, windows exact
+  cluster.storage_cores = 4;
+  cluster.bandwidth = Bandwidth::mbps(1000.0);
+  cluster.batch_size = 64;
+
+  const auto flow = [&](std::size_t) {
+    sim::SampleFlow f;
+    f.wire = wire;
+    f.compute_cpu = compute_cost;
+    return f;
+  };
+
+  prefetch::ReplayOptions options;
+  options.workers = kWorkers;
+  options.prefetch.depth = 16;
+
+  Tracer& tracer = global_tracer();
+  (void)tracer.drain();  // discard anything a previous test left behind
+  tracer.set_capacity(kSamples * 8 + 1024);
+  tracer.set_enabled(true);
+  sim::TraceRecorder recorder;
+  const auto result = prefetch::replay_epoch(kSamples, flow, cluster, Seconds(0.05),
+                                             /*seed=*/42, /*epoch=*/1, options, recorder.sink());
+  const SampleCostFn costs = [&](std::uint32_t) {
+    SampleOpCosts detail;
+    detail.compute_ops = {{"decode", compute_cost * 0.5}, {"augment", compute_cost * 0.5}};
+    detail.prefix = 0;
+    return detail;
+  };
+  build_replay_trace(recorder.rows(), costs, tracer);
+  tracer.set_enabled(false);
+  const auto spans = tracer.drain();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  const auto report = EpochReport::build(spans, tracer.labels(), result.epoch.epoch_time);
+  ASSERT_EQ(report.workers().size(), kWorkers);
+
+  const auto within_1pct = [](Seconds observed, Seconds expected) {
+    const double reference = std::max(expected.value(), 1e-9);
+    EXPECT_NEAR(observed.value(), expected.value(), 0.01 * reference)
+        << "observed " << observed.value() << " vs expected " << expected.value();
+  };
+  // Worker preprocess self time == the replay's compute-CPU busy total.
+  within_1pct(report.total_preprocess(), result.epoch.compute_cpu_busy);
+  // Link-track transfer spans == the FIFO link's busy time for the traffic.
+  within_1pct(report.transfer_busy(), cluster.bandwidth.transfer_time(result.epoch.traffic));
+  // GPU-track spans == the trainer's GPU service total.
+  within_1pct(report.gpu_busy(), result.epoch.gpu_busy);
+  // Fetch stalls + staging waits == the replay's own worker-stall counter.
+  within_1pct(report.total_fetch_stall() + report.total_staging_wait(),
+              result.prefetch.worker_stall);
+  // Every worker's breakdown closes: accounted + idle spans the wall clock.
+  for (const auto& worker : report.workers()) {
+    EXPECT_LE(worker.accounted().value(), result.epoch.epoch_time.value() * 1.01);
+    within_1pct(worker.total(), result.epoch.epoch_time);
+  }
+}
+
+}  // namespace
+}  // namespace sophon::obs

@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sophon::obs {
+namespace {
+
+TEST(Tracer, DisabledRecordPathIsInert) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  tracer.record(SpanCategory::kFetch, "fetch", 0, 100);
+  tracer.record_at(0, SpanCategory::kTransfer, "transfer", Seconds(0.0), Seconds(1.0));
+  EXPECT_TRUE(tracer.drain().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RecordAtCollectsVirtualSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t link = tracer.track("link");
+  const std::uint32_t gpu = tracer.track("gpu");
+  SpanArgs args;
+  args.sample = 7;
+  args.bytes = 1024;
+  tracer.record_at(link, SpanCategory::kTransfer, "transfer", Seconds(0.5), Seconds(1.5), args);
+  tracer.record_at(gpu, SpanCategory::kGpu, "gpu_batch", Seconds(2.0), Seconds(2.25));
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // drain() sorts by begin time.
+  EXPECT_STREQ(spans[0].name, "transfer");
+  EXPECT_EQ(spans[0].track, link);
+  EXPECT_EQ(spans[0].category, SpanCategory::kTransfer);
+  EXPECT_EQ(spans[0].args.sample, 7);
+  EXPECT_EQ(spans[0].args.bytes, 1024);
+  EXPECT_DOUBLE_EQ(spans[0].duration().value(), 1.0);
+  EXPECT_STREQ(spans[1].name, "gpu_batch");
+  EXPECT_DOUBLE_EQ(spans[1].duration().value(), 0.25);
+}
+
+TEST(Tracer, SpanGuardStampsRealTime) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Span span(tracer, SpanCategory::kPreprocess, "decode");
+    ASSERT_TRUE(span.active());
+    span.args().sample = 3;
+  }
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "decode");
+  EXPECT_EQ(spans[0].args.sample, 3);
+  EXPECT_GE(spans[0].end_ns, spans[0].begin_ns);
+}
+
+TEST(Tracer, SpanGuardInertWhenDisabled) {
+  Tracer tracer;
+  {
+    Span span(tracer, SpanCategory::kPreprocess, "decode");
+    EXPECT_FALSE(span.active());
+    span.args().sample = 3;  // writes to a dead member, never dereferences
+  }
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(Tracer, TrackRegistrationIsIdempotent) {
+  Tracer tracer;
+  const auto a = tracer.track("link");
+  const auto b = tracer.track("link");
+  const auto c = tracer.track("gpu");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const auto labels = tracer.labels();
+  std::set<std::string> names;
+  for (const auto& [id, label] : labels) names.insert(label);
+  EXPECT_TRUE(names.contains("link"));
+  EXPECT_TRUE(names.contains("gpu"));
+}
+
+TEST(Tracer, ThreadLabelAppearsInLabels) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::thread worker([&tracer] {
+    tracer.set_thread_label("worker-0");
+    Span span(tracer, SpanCategory::kFetch, "fetch");
+  });
+  worker.join();
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  bool found = false;
+  for (const auto& [id, label] : tracer.labels()) {
+    if (id == spans[0].track && label == "worker-0") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tracer, LongNamesTruncate) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::string long_name(100, 'x');
+  tracer.record(SpanCategory::kOther, long_name, 0, 1);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::string(spans[0].name).size(), SpanEvent::kNameCapacity - 1);
+}
+
+TEST(SpanRing, WrapAroundKeepsNewestAndCountsDropped) {
+  Tracer tracer(/*capacity=*/8);  // 8 is also the enforced minimum
+  tracer.set_enabled(true);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    tracer.record(SpanCategory::kOther, "s", i, i + 1);
+  }
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 8u);
+  // The eight newest survive, oldest first.
+  EXPECT_EQ(spans[0].begin_ns, 12u);
+  EXPECT_EQ(spans[7].begin_ns, 19u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+}
+
+TEST(SpanRing, DrainResetsBuffers) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record(SpanCategory::kOther, "a", 0, 1);
+  EXPECT_EQ(tracer.drain().size(), 1u);
+  EXPECT_TRUE(tracer.drain().empty());
+  tracer.record(SpanCategory::kOther, "b", 2, 3);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "b");
+}
+
+TEST(Tracer, ChromeTraceJsonSchema) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t link = tracer.track("link");
+  SpanArgs args;
+  args.sample = 11;
+  args.position = 4;
+  args.bytes = 2048;
+  args.prefetched = 1;
+  tracer.record_at(link, SpanCategory::kTransfer, "transfer", Seconds(1.0), Seconds(3.0), args);
+  tracer.record_at(tracer.track("gpu"), SpanCategory::kGpu, "gpu_batch", Seconds(3.0),
+                   Seconds(3.5));
+  const auto spans = tracer.drain();
+  const Json doc = chrome_trace_json(spans, tracer.labels());
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  std::size_t metadata = 0;
+  std::size_t complete = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    ASSERT_TRUE(event.is_object());
+    const std::string& ph = event.at("ph").as_string();
+    ASSERT_TRUE(event.has("pid"));
+    ASSERT_TRUE(event.has("tid"));
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(event.at("name").as_string(), "thread_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    ASSERT_TRUE(event.has("ts"));
+    ASSERT_TRUE(event.has("dur"));
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    ASSERT_TRUE(event.has("cat"));
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(metadata, tracer.labels().size());
+
+  // The transfer span carries its per-sample args; ts/dur are microseconds.
+  bool checked = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    if (event.at("ph").as_string() != "X" || event.at("name").as_string() != "transfer") continue;
+    EXPECT_DOUBLE_EQ(event.at("ts").as_number(), 1.0e6);
+    EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 2.0e6);
+    const Json& span_args = event.at("args");
+    EXPECT_EQ(span_args.at("sample").as_int(), 11);
+    EXPECT_EQ(span_args.at("position").as_int(), 4);
+    EXPECT_EQ(span_args.at("bytes").as_int(), 2048);
+    EXPECT_FALSE(span_args.has("retries"));  // unset args are omitted
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+
+  // The document round-trips through the in-repo parser.
+  EXPECT_TRUE(Json::parse(doc.dump()).has_value());
+}
+
+TEST(Tracer, CapacityAppliesToNewThreads) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.set_capacity(32);  // new thread buffers pick this up
+  std::thread t([&tracer] {
+    for (std::uint64_t i = 0; i < 32; ++i) tracer.record(SpanCategory::kOther, "s", i, i + 1);
+  });
+  t.join();
+  EXPECT_EQ(tracer.drain().size(), 32u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace sophon::obs

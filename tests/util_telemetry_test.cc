@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -66,6 +67,121 @@ TEST(Telemetry, ExpositionFormat) {
   EXPECT_NE(text.find("sophon_d_seconds_sum 0.25\n"), std::string::npos);
   // Sorted: a before b.
   EXPECT_LT(text.find("sophon_a_total"), text.find("sophon_b_total"));
+}
+
+TEST(Telemetry, ExpositionGoldenOutput) {
+  // Locks the full Prometheus text format byte-for-byte: # HELP / # TYPE per
+  // family, counters with _total, summaries with _count/_sum (+ min/max
+  // companion gauges), histograms with cumulative buckets ending at +Inf.
+  MetricsRegistry registry;
+  registry.counter("sophon_fetch").increment(3);
+  registry.set_help("sophon_fetch", "Samples fetched from storage.");
+  registry.gauge("sophon_depth").set(2.5);
+  registry.duration("sophon_wait").observe(Seconds(0.25));
+  registry.duration("sophon_wait").observe(Seconds(0.75));
+  auto& h = registry.histogram("sophon_stall");
+  h.observe(Seconds(0.0002));  // -> le="0.0003"
+  h.observe(Seconds(0.05));    // -> le="0.1"
+  h.observe(Seconds(99.0));    // -> +Inf only
+  const std::string expected =
+      "# HELP sophon_fetch_total Samples fetched from storage.\n"
+      "# TYPE sophon_fetch_total counter\n"
+      "sophon_fetch_total 3\n"
+      "# HELP sophon_depth Last-written value.\n"
+      "# TYPE sophon_depth gauge\n"
+      "sophon_depth 2.5\n"
+      "# HELP sophon_wait_seconds Accumulated span durations in seconds.\n"
+      "# TYPE sophon_wait_seconds summary\n"
+      "sophon_wait_seconds_count 2\n"
+      "sophon_wait_seconds_sum 1\n"
+      "# HELP sophon_wait_seconds_min Shortest observed span in seconds.\n"
+      "# TYPE sophon_wait_seconds_min gauge\n"
+      "sophon_wait_seconds_min 0.25\n"
+      "# HELP sophon_wait_seconds_max Longest observed span in seconds.\n"
+      "# TYPE sophon_wait_seconds_max gauge\n"
+      "sophon_wait_seconds_max 0.75\n"
+      "# HELP sophon_stall Span duration distribution in seconds.\n"
+      "# TYPE sophon_stall histogram\n"
+      "sophon_stall_bucket{le=\"0.0001\"} 0\n"
+      "sophon_stall_bucket{le=\"0.0003\"} 1\n"
+      "sophon_stall_bucket{le=\"0.001\"} 1\n"
+      "sophon_stall_bucket{le=\"0.003\"} 1\n"
+      "sophon_stall_bucket{le=\"0.01\"} 1\n"
+      "sophon_stall_bucket{le=\"0.03\"} 1\n"
+      "sophon_stall_bucket{le=\"0.1\"} 2\n"
+      "sophon_stall_bucket{le=\"0.3\"} 2\n"
+      "sophon_stall_bucket{le=\"1\"} 2\n"
+      "sophon_stall_bucket{le=\"3\"} 2\n"
+      "sophon_stall_bucket{le=\"10\"} 2\n"
+      "sophon_stall_bucket{le=\"+Inf\"} 3\n"
+      "sophon_stall_count 3\n"
+      "sophon_stall_sum 99.0502\n";
+  EXPECT_EQ(registry.expose(), expected);
+}
+
+TEST(Telemetry, HelpAndTypePrecedeEverySample) {
+  MetricsRegistry registry;
+  registry.counter("sophon_c").increment();
+  registry.gauge("sophon_g").set(1);
+  registry.duration("sophon_d").observe(Seconds(0.1));
+  registry.histogram("sophon_h").observe(Seconds(0.1));
+  const std::string text = registry.expose();
+  std::istringstream in(text);
+  std::string line;
+  std::string last_comment_family;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      // "# HELP <family> ..." / "# TYPE <family> <kind>"
+      std::istringstream fields(line);
+      std::string hash, kind, family;
+      fields >> hash >> kind >> family;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      last_comment_family = family;
+      continue;
+    }
+    // Every sample line belongs to the family most recently announced.
+    EXPECT_EQ(line.rfind(last_comment_family, 0), 0u) << line;
+  }
+}
+
+TEST(Telemetry, SnapshotCapturesAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("sophon_c").increment(7);
+  registry.gauge("sophon_g").set(3.5);
+  registry.duration("sophon_d").observe(Seconds(0.5));
+  registry.histogram("sophon_h").observe(Seconds(0.2));
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("sophon_c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sophon_g"), 3.5);
+  EXPECT_EQ(snap.durations.at("sophon_d").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.durations.at("sophon_d").sum, 0.5);
+  EXPECT_EQ(snap.histograms.at("sophon_h").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("sophon_h").sum, 0.2);
+}
+
+TEST(Telemetry, SnapshotDeltaIsolatesAnInterval) {
+  MetricsRegistry registry;
+  registry.counter("sophon_c").increment(10);
+  registry.duration("sophon_d").observe(Seconds(1.0));
+  registry.gauge("sophon_g").set(1.0);
+  const MetricsSnapshot before = registry.snapshot();
+
+  registry.counter("sophon_c").increment(5);
+  registry.counter("sophon_new").increment(2);  // born inside the interval
+  registry.duration("sophon_d").observe(Seconds(0.25));
+  registry.gauge("sophon_g").set(9.0);
+  registry.histogram("sophon_h").observe(Seconds(0.1));
+  const MetricsSnapshot after = registry.snapshot();
+
+  const MetricsSnapshot delta = snapshot_delta(after, before);
+  EXPECT_EQ(delta.counters.at("sophon_c"), 5u);
+  EXPECT_EQ(delta.counters.at("sophon_new"), 2u);
+  EXPECT_EQ(delta.durations.at("sophon_d").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.durations.at("sophon_d").sum, 0.25);
+  EXPECT_EQ(delta.histograms.at("sophon_h").count, 1u);
+  // Gauges are instantaneous; the delta carries the later reading.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("sophon_g"), 9.0);
 }
 
 TEST(Telemetry, CountersAreThreadSafe) {

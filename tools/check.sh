@@ -9,6 +9,11 @@
 #   tools/check.sh --asan     AddressSanitizer build (build-asan/), same suite
 #                             restriction — heap abuse hides in the same
 #                             concurrent code TSan watches for races.
+#   tools/check.sh --trace-smoke
+#                             build sophonctl, run a small traced simulation
+#                             and schema-check the emitted Chrome trace JSON
+#                             with the in-repo parser (validate-trace); fails
+#                             on malformed traces or missing span coverage.
 #
 # Each sanitizer needs its own build directory: objects built with
 # -fsanitize=thread or -fsanitize=address are not link-compatible with a
@@ -22,8 +27,9 @@ sanitized_targets=(
   loader_test loader_degradation_test loader_prefetch_test
   prefetch_staging_test prefetch_replay_test
   net_resilience_test net_rpc_test net_link_test
+  obs_concurrency_test
 )
-sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc'
+sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency'
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSOPHON_SANITIZE=thread
@@ -33,8 +39,16 @@ elif [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DSOPHON_SANITIZE=address
   cmake --build build-asan -j "$jobs" --target "${sanitized_targets[@]}"
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -R "$sanitized_regex"
+elif [[ "${1:-}" == "--trace-smoke" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target sophonctl
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  build/tools/sophonctl simulate --dataset openimages --samples 500 --mbps 100 \
+    --prefetch-depth 8 --workers 4 --trace-out="$tmp/trace.json" --report
+  build/tools/sophonctl validate-trace --in "$tmp/trace.json"
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan|--asan]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan|--trace-smoke]" >&2
   exit 2
 else
   cmake -B build -S .

@@ -6,12 +6,15 @@
 //   sophonctl simulate --dataset openimages --samples 40000 --plan plan.json
 //                      --mbps 500 --storage-cores 8
 //                      [--prefetch-depth 16 --prefetch-budget-mib 64 --workers 4]
+//                      [--trace-out=trace.json --report]
 //   sophonctl evaluate --dataset imagenet --samples 90000 --mbps 500
 //   sophonctl calibrate --repeats 3 --out coeffs.json
 //   sophonctl ingest --dataset openimages --samples 64 --dir /tmp/ds
+//   sophonctl validate-trace --in trace.json
 //
 // Every command prints a short report; gen-profiles/decide write JSON
 // artifacts the other commands (and external tooling) can consume.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,9 @@
 #include "net/fault.h"
 #include "net/resilience.h"
 #include "net/wire.h"
+#include "obs/replay_trace.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "prefetch/replay.h"
 #include "sim/trace.h"
 #include "sim/trainer.h"
@@ -39,18 +45,29 @@ using namespace sophon;
 
 namespace {
 
-/// --key value flag bag with typed, defaulted lookups.
+/// Flag bag with typed, defaulted lookups. Accepts "--key value",
+/// "--key=value" and bare boolean switches ("--report", stored as "1").
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string body = argv[i] + 2;
+      if (const auto eq = body.find('='); eq != std::string::npos) {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[body] = argv[i + 1];
+        ++i;
+      } else {
+        values_[body] = "1";
+      }
     }
   }
+
+  [[nodiscard]] bool flag(const std::string& key) const { return values_.contains(key); }
 
   [[nodiscard]] std::string str(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
@@ -268,6 +285,131 @@ int cmd_simulate(const Flags& flags) {
         demand.prefetch.worker_stall.value(), ps.worker_stall.value(),
         static_cast<unsigned long long>(ps.max_inflight));
   }
+
+  // Traced run: replay the epoch through the worker-level model with span
+  // tracing on, export Chrome trace JSON and/or the stall attribution.
+  const auto trace_out = flags.str("trace-out", "");
+  const bool want_report = flags.flag("report");
+  if (!trace_out.empty() || want_report) {
+    prefetch::ReplayOptions replay_options;
+    replay_options.workers = static_cast<std::size_t>(flags.integer("workers", 4));
+    replay_options.prefetch.depth =
+        static_cast<std::size_t>(flags.integer("prefetch-depth", 0));
+    replay_options.prefetch.bytes_budget = Bytes::mib(flags.integer("prefetch-budget-mib", 0));
+    const auto gpu_batch = gpu.batch_time(cluster.batch_size);
+
+    auto& tracer = obs::global_tracer();
+    // Everything records from this thread: one ring must hold the whole
+    // epoch (fetch/wait + preprocess + per-op + storage + link + gpu spans).
+    tracer.set_capacity(catalog.size() * 12 + 4096);
+    tracer.set_enabled(true);
+    sim::TraceRecorder recorder;
+    const auto traced = prefetch::replay_epoch(catalog.size(), flow, cluster, gpu_batch, seed,
+                                               epoch, replay_options, recorder.sink());
+    const obs::SampleCostFn costs = [&](std::uint32_t idx) {
+      const auto& meta = catalog.sample(idx);
+      const std::size_t prefix = plan.prefix(idx);
+      obs::SampleOpCosts detail;
+      detail.prefix = static_cast<std::int32_t>(prefix);
+      detail.storage_prefix =
+          prefix > 0 ? pipe.prefix_cost(meta.raw, prefix, cm) : Seconds(0.0);
+      for (std::size_t i = prefix; i < pipe.size(); ++i) {
+        detail.compute_ops.emplace_back(std::string(pipe.op(i).name()),
+                                        pipe.op_cost(meta.raw, i, cm));
+      }
+      return detail;
+    };
+    obs::build_replay_trace(recorder.rows(), costs, tracer);
+    tracer.set_enabled(false);
+    const auto spans = tracer.drain();
+    const auto labels = tracer.labels();
+
+    if (!trace_out.empty()) {
+      if (!core::save_json_file(obs::chrome_trace_json(spans, labels), trace_out)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu spans (%llu dropped) to %s\n", spans.size(),
+                  static_cast<unsigned long long>(tracer.dropped()), trace_out.c_str());
+    }
+    if (want_report) {
+      auto report = obs::EpochReport::build(spans, labels, traced.epoch.epoch_time);
+      const auto profiles = core::profile_stage2(catalog, pipe, cm);
+      const double batches = std::ceil(static_cast<double>(catalog.size()) /
+                                       static_cast<double>(cluster.batch_size));
+      const auto predicted = core::evaluate_plan(profiles, plan, cluster, gpu_batch * batches);
+      report.set_predicted(obs::EpochReport::Costs{predicted.t_g, predicted.t_cc,
+                                                   predicted.t_cs, predicted.t_net});
+      std::printf("%s", report.render().c_str());
+      if (const auto out = flags.str("report-out", ""); !out.empty()) {
+        if (!core::save_json_file(report.to_json(), out)) {
+          std::fprintf(stderr, "cannot write %s\n", out.c_str());
+          return 1;
+        }
+        std::printf("wrote stall report to %s\n", out.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+/// Schema-check a Chrome trace-event document with the in-repo JSON parser:
+/// structural validity plus the event fields Perfetto needs. --strict
+/// additionally requires the sample-lifecycle span categories.
+int cmd_validate_trace(const Flags& flags) {
+  const auto in = flags.required("in");
+  const auto loaded = core::load_json_file(in);
+  if (!loaded) {
+    std::fprintf(stderr, "cannot read or parse %s\n", in.c_str());
+    return 1;
+  }
+  if (!loaded->is_object() || !loaded->has("traceEvents") ||
+      !loaded->at("traceEvents").is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", in.c_str());
+    return 1;
+  }
+  const auto& events = loaded->at("traceEvents");
+  std::map<std::string, std::size_t> categories;
+  std::size_t complete = 0;
+  std::size_t metadata = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events.at(i);
+    const auto fail = [&](const char* what) {
+      std::fprintf(stderr, "%s: event %zu %s\n", in.c_str(), i, what);
+      return 1;
+    };
+    if (!event.is_object()) return fail("is not an object");
+    for (const char* key : {"name", "ph", "pid", "tid"}) {
+      if (!event.has(key)) return fail("lacks a required field");
+    }
+    const auto& ph = event.at("ph").as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    if (ph != "X") return fail("has unsupported phase");
+    if (!event.has("ts") || !event.has("dur")) return fail("lacks ts/dur");
+    if (event.at("dur").as_number() < 0.0) return fail("has negative duration");
+    if (event.has("cat")) ++categories[event.at("cat").as_string()];
+    ++complete;
+  }
+  if (flags.integer("strict", 1) != 0) {
+    for (const char* required : {"preprocess", "transfer"}) {
+      if (categories[required] == 0) {
+        std::fprintf(stderr, "%s: no '%s' spans\n", in.c_str(), required);
+        return 1;
+      }
+    }
+    if (categories["fetch"] == 0 && categories["staging_wait"] == 0) {
+      std::fprintf(stderr, "%s: no fetch or staging_wait spans\n", in.c_str());
+      return 1;
+    }
+  }
+  std::printf("trace OK: %zu spans, %zu thread names", complete, metadata);
+  for (const auto& [category, count] : categories) {
+    std::printf(" | %s %zu", category.c_str(), count);
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -401,7 +543,8 @@ int cmd_ingest(const Flags& flags) {
 void usage() {
   std::fprintf(stderr,
                "usage: sophonctl <command> [--flag value ...]\n"
-               "commands: gen-profiles | decide | simulate | evaluate | ingest | calibrate | trace\n");
+               "commands: gen-profiles | decide | simulate | evaluate | ingest | calibrate | "
+               "trace | validate-trace\n");
 }
 
 }  // namespace
@@ -420,6 +563,7 @@ int main(int argc, char** argv) {
   if (command == "ingest") return cmd_ingest(flags);
   if (command == "calibrate") return cmd_calibrate(flags);
   if (command == "trace") return cmd_trace(flags);
+  if (command == "validate-trace") return cmd_validate_trace(flags);
   usage();
   return 2;
 }
