@@ -1,0 +1,189 @@
+// Online adaptive re-planning: closing the §3.2 loop at runtime.
+//
+// The greedy decision engine computes one plan from the two-stage profile,
+// calibrated to the cluster shape it was told about. The paper's own premise
+// — network-time dominance shifts with bandwidth and storage-CPU headroom —
+// means that plan drifts when the runtime disagrees with the calibration:
+// the link degrades, a competing tenant eats storage cores, faults demote
+// offloaded fetches to raw. DS-Analyzer's lesson (see PAPERS.md) is that
+// stall attribution only pays off when it feeds back into configuration;
+// this module is that feedback edge.
+//
+// At every epoch boundary the AdaptiveReplanner compares what the epoch
+// *measured* (an EpochObservation, folded from sim::EpochStats or an
+// obs::EpochReport) against what the current plan *predicted* (its
+// EpochCostVector). When the drift exceeds a threshold it re-fits the link
+// and storage-CPU coefficients from the measurements, re-runs the greedy
+// offloading-efficiency decision with those measured coefficients, and — if
+// the candidate plan clears a relative-improvement floor — swaps it in for
+// the next epoch. Hysteresis (a cooldown of epochs between re-plans plus
+// the improvement floor) keeps an oscillating environment from thrashing
+// the plan.
+//
+// Plan-swap safety: plans are handed out as shared_ptr leases. An epoch in
+// flight (a DataLoader and its prefetch scheduler, or a simulated epoch's
+// flow function) holds its lease for its whole lifetime, so a re-plan never
+// changes directives under in-flight prefetch credits or staged samples —
+// the new plan takes effect at the next epoch boundary, when the next
+// consumer takes a fresh lease.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/decision.h"
+#include "core/metrics.h"
+#include "core/plan.h"
+#include "obs/report.h"
+#include "sim/cluster.h"
+#include "sim/trainer.h"
+#include "util/telemetry.h"
+#include "util/units.h"
+
+namespace sophon::core::adapt {
+
+/// What one finished epoch measured, in the decision engine's currency.
+struct EpochObservation {
+  /// Measured per-stage self times, component-matched to the predicted
+  /// §3.2 cost vector.
+  EpochCostVector observed;
+  Bytes traffic;       // bytes the link actually carried
+  Seconds epoch_time;  // measured epoch makespan
+  std::uint64_t retries = 0;  // fetch retries absorbed by the resilience layer
+  std::size_t degraded = 0;   // samples demoted to the raw flow
+  std::size_t samples = 0;
+
+  /// Observed fault pressure: fraction of samples that lost their offload.
+  [[nodiscard]] double degraded_rate() const {
+    return samples == 0 ? 0.0 : static_cast<double>(degraded) / static_cast<double>(samples);
+  }
+};
+
+/// Fold a simulated epoch's stats into an observation. `actual` is the
+/// cluster the epoch really ran on (which the planner does not get to see);
+/// `faults` optionally carries the epoch's fault-replay impact.
+[[nodiscard]] EpochObservation observe_epoch(const sim::EpochStats& stats,
+                                             const sim::ClusterConfig& actual,
+                                             const sim::FaultReplayStats* faults = nullptr);
+
+/// Fold a traced epoch's stall attribution into an observation — the
+/// EpochReport → decision feedback path. `traffic` is the epoch's wire
+/// bytes (the report holds times, not bytes).
+[[nodiscard]] EpochObservation observe_report(const obs::EpochReport& report, Bytes traffic);
+
+/// Component-wise divergence between prediction and measurement. Each
+/// component's drift is |observed - predicted| normalised by the predicted
+/// epoch time (the bottleneck component), so "t_net drifted by 0.5" means
+/// the link moved by half a predicted epoch — a scale on which one
+/// threshold works for every component.
+struct DriftReport {
+  double t_g = 0.0;
+  double t_cc = 0.0;
+  double t_cs = 0.0;
+  double t_net = 0.0;
+  double max_drift = 0.0;
+  std::string_view worst = "none";  // component with the largest drift
+  bool bottleneck_shifted = false;  // predicted and observed disagree on it
+};
+
+[[nodiscard]] DriftReport measure_drift(const EpochCostVector& predicted,
+                                        const EpochCostVector& observed);
+
+/// The planned cluster with the measured coefficients folded in: link
+/// bandwidth re-fit from traffic / observed t_net, storage core speed
+/// scaled by predicted/observed t_cs. Knobs the observation says nothing
+/// about (core counts, batch size) are kept as planned.
+[[nodiscard]] sim::ClusterConfig calibrate_cluster(const sim::ClusterConfig& planned,
+                                                   const EpochCostVector& predicted,
+                                                   const EpochObservation& observation);
+
+struct AdaptOptions {
+  /// Re-plan only when DriftReport::max_drift strictly exceeds this
+  /// (drift exactly at the threshold does not trigger).
+  double drift_threshold = 0.2;
+  /// Hysteresis: minimum epochs between two accepted re-plans. 1 = every
+  /// epoch boundary may re-plan.
+  std::size_t replan_cooldown = 2;
+  /// Hysteresis: a candidate plan must predict at least this relative
+  /// epoch-time improvement over the current plan (both evaluated under the
+  /// measured coefficients) to be swapped in.
+  double min_improvement = 0.05;
+  /// Optional telemetry: pre-registers and feeds the sophon_replan_* set.
+  MetricsRegistry* metrics = nullptr;
+};
+
+enum class ReplanOutcome : std::uint8_t {
+  kNoDrift,                ///< drift within threshold; plan kept
+  kSuppressedCooldown,     ///< drift exceeded, but a re-plan is too recent
+  kSuppressedImprovement,  ///< re-planned, but the candidate's predicted
+                           ///< improvement is below the floor; plan kept and
+                           ///< the prediction re-anchored to the measured
+                           ///< coefficients (so the same drift stops firing)
+  kReplanned,              ///< new plan swapped in for the next epoch
+};
+
+[[nodiscard]] std::string_view replan_outcome_name(ReplanOutcome outcome);
+
+/// What one epoch-boundary check decided.
+struct ReplanDecision {
+  ReplanOutcome outcome = ReplanOutcome::kNoDrift;
+  DriftReport drift;
+  /// Relative predicted epoch-time improvement of the candidate plan under
+  /// the measured coefficients (meaningful for kReplanned /
+  /// kSuppressedImprovement).
+  double improvement = 0.0;
+  /// The prediction in force for the next epoch.
+  EpochCostVector predicted;
+};
+
+/// The online re-planning engine. Owns the stage-2 profiles and the current
+/// plan; call begin_epoch / end_epoch around every training epoch.
+class AdaptiveReplanner {
+ public:
+  /// `planned` is the cluster the initial calibration believed in;
+  /// `gpu_epoch_time` is T_G for one epoch. When `initial_plan` is null the
+  /// constructor runs the greedy decision to produce it.
+  AdaptiveReplanner(std::vector<SampleProfile> profiles, const sim::ClusterConfig& planned,
+                    Seconds gpu_epoch_time, AdaptOptions options = {},
+                    std::shared_ptr<const OffloadPlan> initial_plan = nullptr);
+
+  /// Lease on the plan for the upcoming (or running) epoch. Hold it for the
+  /// epoch's whole lifetime: re-plans install a *new* plan object and never
+  /// mutate a leased one.
+  [[nodiscard]] std::shared_ptr<const OffloadPlan> plan() const { return plan_; }
+
+  /// The cost vector the current plan predicts under the latest calibration.
+  [[nodiscard]] const EpochCostVector& predicted() const { return predicted_; }
+
+  /// The cluster coefficients the current prediction is calibrated to.
+  [[nodiscard]] const sim::ClusterConfig& calibrated() const { return calibrated_; }
+
+  /// Number of accepted re-plans so far (0 = still the initial plan).
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Mark the epoch about to run. Re-plans only happen in end_epoch, i.e.
+  /// outside a begin/end pair — the safe boundary.
+  void begin_epoch(std::size_t epoch_index);
+
+  /// Close the epoch with its measurements and decide: keep, suppress, or
+  /// re-plan. A re-plan swaps the plan lease handed to the *next* epoch.
+  ReplanDecision end_epoch(const EpochObservation& observation);
+
+ private:
+  std::vector<SampleProfile> profiles_;
+  sim::ClusterConfig planned_;     // as-configured knobs (cores, batch, ...)
+  sim::ClusterConfig calibrated_;  // with measured coefficients folded in
+  Seconds gpu_epoch_time_;
+  AdaptOptions options_;
+  std::shared_ptr<const OffloadPlan> plan_;
+  EpochCostVector predicted_;
+  std::uint64_t generation_ = 0;
+  bool in_epoch_ = false;
+  std::size_t epoch_index_ = 0;
+  bool has_replanned_ = false;
+  std::size_t last_replan_epoch_ = 0;
+};
+
+}  // namespace sophon::core::adapt

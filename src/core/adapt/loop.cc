@@ -1,0 +1,88 @@
+#include "core/adapt/loop.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/profiler.h"
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace sophon::core::adapt {
+
+namespace {
+
+// Flow for one sample under a leased plan. The lease is captured by value:
+// even if the replanner swaps plans mid-run, this epoch keeps computing
+// against the plan it started with.
+std::function<sim::SampleFlow(std::size_t)> flow_under(
+    std::shared_ptr<const OffloadPlan> lease, const dataset::Catalog& catalog,
+    const pipeline::Pipeline& pipeline, const pipeline::CostModel& cost_model) {
+  return [lease = std::move(lease), &catalog, &pipeline, &cost_model](std::size_t i) {
+    const auto& meta = catalog.sample(i);
+    const std::size_t prefix = lease == nullptr ? 0 : lease->prefix(i);
+    sim::SampleFlow flow;
+    flow.storage_cpu = prefix > 0 ? pipeline.prefix_cost(meta.raw, prefix, cost_model)
+                                  : Seconds(0.0);
+    flow.wire = net::wire_size(pipeline.shape_at(meta.raw, prefix));
+    flow.compute_cpu = pipeline.suffix_cost(meta.raw, prefix, cost_model);
+    return flow;
+  };
+}
+
+}  // namespace
+
+RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline& pipeline,
+                       const pipeline::CostModel& cost_model, const sim::ClusterConfig& planned,
+                       Seconds gpu_batch_time, const RunOptions& options) {
+  SOPHON_CHECK(!catalog.empty());
+  SOPHON_CHECK(options.epochs > 0);
+
+  const std::size_t num_batches =
+      (catalog.size() + planned.batch_size - 1) / planned.batch_size;
+  const Seconds gpu_epoch_time = gpu_batch_time * static_cast<double>(num_batches);
+
+  // One replanner for both modes keeps the initial plan identical between a
+  // static run and an adaptive run — the comparison the ablation makes.
+  AdaptiveReplanner replanner(profile_stage2(catalog, pipeline, cost_model), planned,
+                              gpu_epoch_time, options.adapt_options, options.initial_plan);
+
+  RunResult result;
+  result.rows.reserve(options.epochs);
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    sim::ClusterConfig actual = planned;
+    if (options.bandwidth_at) actual.bandwidth = options.bandwidth_at(epoch);
+
+    auto lease = replanner.plan();
+    auto flow = flow_under(lease, catalog, pipeline, cost_model);
+    sim::FaultReplayStats fault_stats;
+    if (options.faults != nullptr) {
+      flow = sim::faulty_flow(std::move(flow), flow_under(nullptr, catalog, pipeline, cost_model),
+                              *options.faults, options.retry, epoch, &fault_stats);
+    }
+
+    if (options.adapt) replanner.begin_epoch(epoch);
+    const sim::EpochStats stats = simulate_epoch_flows(catalog.size(), flow, actual,
+                                                       gpu_batch_time, options.seed, epoch);
+    const EpochObservation observation = observe_epoch(
+        stats, actual, options.faults != nullptr ? &fault_stats : nullptr);
+
+    EpochRow row;
+    row.epoch = epoch;
+    row.actual_mbps = actual.bandwidth.bps() / 1e6;
+    row.plan_generation = replanner.generation();
+    row.offloaded = lease->offloaded_count();
+    row.epoch_time = stats.epoch_time;
+    row.traffic = stats.traffic;
+    row.retries = observation.retries;
+    row.degraded = observation.degraded;
+    if (options.adapt) {
+      row.decision = replanner.end_epoch(observation);
+      if (row.decision.outcome == ReplanOutcome::kReplanned) ++result.replans;
+    }
+    result.rows.push_back(row);
+  }
+  result.final_plan = replanner.plan();
+  return result;
+}
+
+}  // namespace sophon::core::adapt

@@ -14,6 +14,12 @@
 #                             and schema-check the emitted Chrome trace JSON
 #                             with the in-repo parser (validate-trace); fails
 #                             on malformed traces or missing span coverage.
+#   tools/check.sh --docs     doc-drift linter: diff the flag/command
+#                             vocabulary of `sophonctl help` against
+#                             docs/CLI.md and README.md — fails when the docs
+#                             mention a flag the binary no longer has, or the
+#                             binary grows a flag/command the docs omit. Also
+#                             runs as part of the default check.
 #
 # Each sanitizer needs its own build directory: objects built with
 # -fsanitize=thread or -fsanitize=address are not link-compatible with a
@@ -22,6 +28,48 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+# Doc-drift linter: `sophonctl help` is generated from the same command
+# table that validates flags at runtime, so it is the ground truth. Docs may
+# additionally mention flags of *other* tools (check.sh's own modes, cmake/
+# ctest switches, generic placeholders) — those live on the allowlist.
+check_docs() {
+  local help flags_help flags_docs commands missing stale ok=0
+  local allowlist='^--(tsan|asan|trace-smoke|docs|build|target|test-dir|output-on-failure|key)$'
+  help=$(build/tools/sophonctl help)
+
+  flags_help=$(printf '%s\n' "$help" | grep -oE '^\s*--[a-z][a-z0-9-]*' | tr -d ' ' | sort -u)
+  flags_docs=$(grep -ohE '[-][-][a-z][a-z0-9-]*' docs/CLI.md README.md | sort -u |
+    grep -vE "$allowlist" || true)
+  commands=$(printf '%s\n' "$help" | sed -nE 's/^sophonctl ([a-z-]+) .*/\1/p' | sort -u)
+
+  # Docs must not reference flags the binary no longer has.
+  stale=$(comm -23 <(printf '%s\n' "$flags_docs") <(printf '%s\n' "$flags_help"))
+  if [[ -n "$stale" ]]; then
+    echo "doc-drift: docs/CLI.md or README.md reference flags sophonctl does not have:" >&2
+    printf '  %s\n' $stale >&2
+    ok=1
+  fi
+  # Every binary flag must be documented in the CLI reference.
+  missing=$(comm -23 <(printf '%s\n' "$flags_help") \
+    <(grep -ohE '[-][-][a-z][a-z0-9-]*' docs/CLI.md | sort -u))
+  if [[ -n "$missing" ]]; then
+    echo "doc-drift: sophonctl flags missing from docs/CLI.md:" >&2
+    printf '  %s\n' $missing >&2
+    ok=1
+  fi
+  # Every command must be documented in the CLI reference.
+  for cmd in $commands; do
+    if ! grep -q "### $cmd" docs/CLI.md && ! grep -qE "^\| \[?\`$cmd\`" docs/CLI.md; then
+      echo "doc-drift: sophonctl command '$cmd' undocumented in docs/CLI.md" >&2
+      ok=1
+    fi
+  done
+  if [[ $ok -eq 0 ]]; then
+    echo "docs OK: $(printf '%s\n' "$flags_help" | wc -l) flags, $(printf '%s\n' "$commands" | wc -l) commands in sync with docs/CLI.md"
+  fi
+  return $ok
+}
 
 sanitized_targets=(
   loader_test loader_degradation_test loader_prefetch_test
@@ -47,11 +95,16 @@ elif [[ "${1:-}" == "--trace-smoke" ]]; then
   build/tools/sophonctl simulate --dataset openimages --samples 500 --mbps 100 \
     --prefetch-depth 8 --workers 4 --trace-out="$tmp/trace.json" --report
   build/tools/sophonctl validate-trace --in "$tmp/trace.json"
+elif [[ "${1:-}" == "--docs" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target sophonctl
+  check_docs
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan|--asan|--trace-smoke]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan|--trace-smoke|--docs]" >&2
   exit 2
 else
   cmake -B build -S .
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
+  check_docs
 fi

@@ -7,22 +7,32 @@
 //                      --mbps 500 --storage-cores 8
 //                      [--prefetch-depth 16 --prefetch-budget-mib 64 --workers 4]
 //                      [--trace-out=trace.json --report]
+//                      [--adapt --epochs 10 --bw-drop-factor 4 --bw-drop-epoch 3]
 //   sophonctl evaluate --dataset imagenet --samples 90000 --mbps 500
 //   sophonctl calibrate --repeats 3 --out coeffs.json
 //   sophonctl ingest --dataset openimages --samples 64 --dir /tmp/ds
 //   sophonctl validate-trace --in trace.json
+//   sophonctl help [command]
 //
 // Every command prints a short report; gen-profiles/decide write JSON
 // artifacts the other commands (and external tooling) can consume.
+//
+// Commands and their flags are declared in one table (kCommands below):
+// `sophonctl help` renders it, and every invocation validates its flags
+// against it — so the table is the single source of truth the doc-drift
+// linter (tools/check.sh --docs) checks docs/CLI.md against.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include <functional>
 
+#include "core/adapt/adapt.h"
+#include "core/adapt/loop.h"
 #include "core/decision.h"
 #include "core/profiler.h"
 #include "core/runner.h"
@@ -92,6 +102,8 @@ class Flags {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atol(it->second.c_str());
   }
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;
@@ -175,6 +187,63 @@ int cmd_decide(const Flags& flags) {
   return 0;
 }
 
+/// The --adapt path of simulate: a multi-epoch run under a bandwidth
+/// schedule, with the online replanner checking drift at every boundary.
+int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
+                          const pipeline::Pipeline& pipe, const pipeline::CostModel& cm,
+                          const sim::ClusterConfig& cluster, Seconds gpu_batch,
+                          const net::FaultInjector& faults, std::uint64_t seed) {
+  MetricsRegistry metrics;
+  core::adapt::RunOptions options;
+  options.epochs = static_cast<std::size_t>(flags.integer("epochs", 10));
+  options.adapt = flags.integer("adapt", 1) != 0;
+  options.adapt_options.drift_threshold = flags.number("drift-threshold", 0.2);
+  options.adapt_options.replan_cooldown =
+      static_cast<std::size_t>(flags.integer("replan-cooldown", 2));
+  options.adapt_options.min_improvement = flags.number("min-improvement", 0.05);
+  options.adapt_options.metrics = &metrics;
+  options.seed = seed;
+
+  const double drop_factor = flags.number("bw-drop-factor", 1.0);
+  const auto drop_epoch = static_cast<std::size_t>(flags.integer("bw-drop-epoch", 0));
+  const Bandwidth planned_bw = cluster.bandwidth;
+  if (drop_factor != 1.0) {
+    options.bandwidth_at = [planned_bw, drop_factor, drop_epoch](std::size_t epoch) {
+      return epoch >= drop_epoch ? Bandwidth::bits_per_sec(planned_bw.bps() / drop_factor)
+                                 : planned_bw;
+    };
+  }
+  net::RetryPolicy retry;
+  if (faults.enabled()) {
+    retry.max_attempts = static_cast<std::uint32_t>(flags.integer("retries", 3)) + 1;
+    retry.seed = faults.profile().seed;
+    options.faults = &faults;
+    options.retry = retry;
+  }
+
+  const auto result = core::adapt::run_adaptive(catalog, pipe, cm, cluster, gpu_batch, options);
+  TextTable table({"epoch", "link", "gen", "offloaded", "epoch time", "traffic", "decision"});
+  for (const auto& row : result.rows) {
+    const auto& drift = row.decision.drift;
+    std::string decision = options.adapt
+                               ? strf("%s (drift %.2f %s)",
+                                      std::string(core::adapt::replan_outcome_name(
+                                                      row.decision.outcome))
+                                          .c_str(),
+                                      drift.max_drift, std::string(drift.worst).c_str())
+                               : "static";
+    table.add_row({strf("%zu", row.epoch), strf("%.0f Mbps", row.actual_mbps),
+                   strf("%llu", static_cast<unsigned long long>(row.plan_generation)),
+                   strf("%zu", row.offloaded), strf("%.1f s", row.epoch_time.value()),
+                   human_bytes(row.traffic), decision});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("re-plans accepted: %zu | final plan offloads %zu of %zu samples\n",
+              result.replans, result.final_plan->offloaded_count(), catalog.size());
+  if (options.adapt) std::printf("%s", metrics.expose().c_str());
+  return 0;
+}
+
 int cmd_simulate(const Flags& flags) {
   const auto name = flags.str("dataset", "openimages");
   const auto samples = static_cast<std::size_t>(flags.integer("samples", 40000));
@@ -208,6 +277,11 @@ int cmd_simulate(const Flags& flags) {
   fault_profile.bandwidth_dip_prob = flags.number("bandwidth-dip", 0.0);
   fault_profile.seed = static_cast<std::uint64_t>(flags.integer("fault-seed", seed));
   const net::FaultInjector faults{fault_profile};
+
+  if (flags.flag("adapt")) {
+    return cmd_simulate_adaptive(flags, catalog, pipe, cm, cluster,
+                                 gpu.batch_time(cluster.batch_size), faults, seed);
+  }
 
   std::function<sim::SampleFlow(std::size_t)> flow = [&](std::size_t idx) {
     const auto& meta = catalog.sample(idx);
@@ -540,11 +614,171 @@ int cmd_ingest(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Command table: the single source of truth for dispatch, help output, and
+// flag validation. tools/check.sh --docs diffs `sophonctl help` against
+// docs/CLI.md, so a flag added here without a docs entry fails CI.
+
+struct FlagSpec {
+  const char* name;
+  const char* arg;  // value placeholder, or "" for a boolean switch
+  const char* help;
+};
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+  int (*run)(const Flags&);
+};
+
+const std::vector<FlagSpec> kClusterFlags = {
+    {"mbps", "N", "inter-cluster link bandwidth in Mbps (default 500)"},
+    {"storage-cores", "N", "storage-node preprocessing cores (default 48)"},
+    {"compute-cores", "N", "compute-node preprocessing cores (default 48)"},
+    {"storage-speed", "X", "storage core speed relative to a compute core (default 1.0)"},
+    {"batch-size", "N", "training batch size (default 256)"},
+};
+
+const std::vector<FlagSpec> kCorpusFlags = {
+    {"dataset", "NAME", "openimages | imagenet (default openimages)"},
+    {"samples", "N", "catalog size"},
+    {"seed", "N", "deterministic corpus/shuffle seed (default 42)"},
+};
+
+std::vector<FlagSpec> with_common(std::vector<FlagSpec> own, bool corpus, bool cluster) {
+  std::vector<FlagSpec> all;
+  if (corpus) all.insert(all.end(), kCorpusFlags.begin(), kCorpusFlags.end());
+  if (cluster) all.insert(all.end(), kClusterFlags.begin(), kClusterFlags.end());
+  all.insert(all.end(), own.begin(), own.end());
+  return all;
+}
+
+const std::vector<CommandSpec>& commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"gen-profiles", "run the stage-2 profiler and write the per-sample profile artifact",
+       with_common({{"out", "FILE", "profile JSON artifact to write (required)"}}, true, false),
+       cmd_gen_profiles},
+      {"decide", "run the greedy offloading decision over a profile artifact",
+       with_common({{"profiles", "FILE", "stage-2 profile artifact from gen-profiles (required)"},
+                    {"out", "FILE", "offload plan JSON to write (required)"},
+                    {"tg-seconds", "X", "T_G, the GPU epoch time in seconds (default 14)"}},
+                   false, true),
+       cmd_decide},
+      {"simulate", "simulate training epochs under a plan, faults, prefetch, or --adapt",
+       with_common(
+           {{"epoch", "N", "epoch index for the single-epoch run (default 0)"},
+            {"plan", "FILE", "offload plan from decide (default: no offloading)"},
+            {"transient-fail", "P", "per-attempt transient fetch failure probability"},
+            {"permanent-fail", "P", "per-sample permanent fetch failure probability"},
+            {"corrupt", "P", "per-attempt payload corruption probability"},
+            {"fail-offload-only", "0|1", "restrict faults to offloaded fetches (default 1)"},
+            {"latency-spike", "P", "per-transfer link latency spike probability"},
+            {"bandwidth-dip", "P", "per-transfer link bandwidth dip probability"},
+            {"fault-seed", "N", "fault replay seed (default: --seed)"},
+            {"retries", "N", "retry budget per failed fetch (default 3)"},
+            {"prefetch-depth", "N", "enable prefetch comparison at this depth"},
+            {"workers", "N", "loader workers for prefetch/traced replay (default 4)"},
+            {"prefetch-budget-mib", "N", "staging-buffer byte budget (0 = unbounded)"},
+            {"trace-out", "FILE", "write a Chrome trace of the replayed epoch"},
+            {"report", "", "print the epoch stall-attribution report"},
+            {"report-out", "FILE", "write the stall report JSON"},
+            {"adapt", "0|1", "multi-epoch adaptive run (0 = static multi-epoch baseline)"},
+            {"epochs", "N", "epochs for the --adapt run (default 10)"},
+            {"drift-threshold", "X", "re-plan when drift exceeds this (default 0.2)"},
+            {"replan-cooldown", "N", "min epochs between accepted re-plans (default 2)"},
+            {"min-improvement", "X", "relative-improvement floor for a re-plan (default 0.05)"},
+            {"bw-drop-factor", "X", "divide link bandwidth by this mid-run (default 1)"},
+            {"bw-drop-epoch", "N", "epoch at which the bandwidth drop hits (default 0)"}},
+           true, true),
+       cmd_simulate},
+      {"evaluate", "compare all offloading policies on one corpus",
+       with_common({}, true, true), cmd_evaluate},
+      {"calibrate", "fit cost-model coefficients against materialised samples",
+       {{"samples", "N", "synthetic calibration corpus size (default 5)"},
+        {"repeats", "N", "timing repeats per op (default 3)"},
+        {"out", "FILE", "write fitted coefficients JSON"}},
+       cmd_calibrate},
+      {"ingest", "materialise a synthetic corpus into an on-disk blob store",
+       with_common({{"dir", "DIR", "target directory (required)"},
+                    {"max-pixels", "N", "cap per-image pixel count (default 1.5e6)"}},
+                   true, false),
+       cmd_ingest},
+      {"trace", "simulate one epoch and export per-sample timeline records",
+       with_common({{"plan", "FILE", "offload plan from decide (default: no offloading)"},
+                    {"out", "FILE", "write timeline JSON"}},
+                   true, true),
+       cmd_trace},
+      {"validate-trace", "schema-check a Chrome trace produced by simulate --trace-out",
+       {{"in", "FILE", "trace JSON to validate (required)"},
+        {"strict", "0|1", "require sample-lifecycle span coverage (default 1)"}},
+       cmd_validate_trace},
+  };
+  return kCommands;
+}
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const auto& spec : commands()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+void print_command_help(const CommandSpec& spec, std::FILE* out) {
+  std::fprintf(out, "sophonctl %s — %s\n", spec.name, spec.summary);
+  for (const auto& flag : spec.flags) {
+    const std::string left =
+        std::string("--") + flag.name + (flag.arg[0] == '\0' ? "" : std::string(" ") + flag.arg);
+    std::fprintf(out, "  %-26s %s\n", left.c_str(), flag.help);
+  }
+}
+
+int cmd_help(const std::string& topic) {
+  if (!topic.empty()) {
+    const auto* spec = find_command(topic);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown command '%s'\n", topic.c_str());
+      return 2;
+    }
+    print_command_help(*spec, stdout);
+    return 0;
+  }
+  std::printf("usage: sophonctl <command> [flags]\n\n");
+  for (const auto& spec : commands()) {
+    print_command_help(spec, stdout);
+    std::printf("\n");
+  }
+  std::printf("run 'sophonctl help <command>' for a single command\n");
+  return 0;
+}
+
+/// Reject flags the command's spec does not declare — typos fail loudly
+/// instead of silently falling back to defaults.
+bool validate_flags(const CommandSpec& spec, const Flags& flags) {
+  bool ok = true;
+  for (const auto& [key, value] : flags.values()) {
+    if (key == "help") continue;
+    bool known = false;
+    for (const auto& flag : spec.flags) {
+      if (key == flag.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s for 'sophonctl %s' (see: sophonctl help %s)\n",
+                   key.c_str(), spec.name, spec.name);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: sophonctl <command> [--flag value ...]\n"
+               "usage: sophonctl <command> [flags]\n"
                "commands: gen-profiles | decide | simulate | evaluate | ingest | calibrate | "
-               "trace | validate-trace\n");
+               "trace | validate-trace | help\n");
 }
 
 }  // namespace
@@ -555,15 +789,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return cmd_help(argc > 2 ? argv[2] : "");
+  }
+  const auto* spec = find_command(command);
+  if (spec == nullptr) {
+    usage();
+    return 2;
+  }
   const Flags flags(argc, argv, 2);
-  if (command == "gen-profiles") return cmd_gen_profiles(flags);
-  if (command == "decide") return cmd_decide(flags);
-  if (command == "simulate") return cmd_simulate(flags);
-  if (command == "evaluate") return cmd_evaluate(flags);
-  if (command == "ingest") return cmd_ingest(flags);
-  if (command == "calibrate") return cmd_calibrate(flags);
-  if (command == "trace") return cmd_trace(flags);
-  if (command == "validate-trace") return cmd_validate_trace(flags);
-  usage();
-  return 2;
+  if (flags.flag("help")) {
+    print_command_help(*spec, stdout);
+    return 0;
+  }
+  if (!validate_flags(*spec, flags)) return 2;
+  return spec->run(flags);
 }
