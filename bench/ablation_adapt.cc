@@ -143,23 +143,17 @@ int main() {
                     a.decision.outcome == b.decision.outcome;
   }
 
-  Json artifact = Json::object();
-  artifact.set("kind", "sophon.bench_adapt");
-  artifact.set("version", 1);
-  artifact.set("samples", static_cast<std::int64_t>(kSamples));
-  artifact.set("seed", static_cast<std::int64_t>(kSeed));
-  artifact.set("planned_mbps", kPlannedMbps);
-  artifact.set("drop_factor", kDropFactor);
-  artifact.set("drop_epoch", static_cast<std::int64_t>(kDropEpoch));
-  artifact.set("recovered_fraction", fraction);
-  artifact.set("replans", static_cast<std::int64_t>(run_adapt.replans));
-  artifact.set("rows", rows);
-  const char* out = "BENCH_adapt.json";
-  if (!core::save_json_file(artifact, out)) {
-    std::fprintf(stderr, "failed to write %s\n", out);
+  if (!bench::ArtifactEmitter("sophon.bench_adapt")
+           .meta("samples", static_cast<std::int64_t>(kSamples))
+           .meta("seed", static_cast<std::int64_t>(kSeed))
+           .meta("planned_mbps", kPlannedMbps)
+           .meta("drop_factor", kDropFactor)
+           .meta("drop_epoch", static_cast<std::int64_t>(kDropEpoch))
+           .meta("recovered_fraction", fraction)
+           .meta("replans", static_cast<std::int64_t>(run_adapt.replans))
+           .write("BENCH_adapt.json", rows)) {
     return 1;
   }
-  std::printf("wrote %s\n", out);
 
   if (replanned && fraction >= 0.5 && deterministic) {
     std::printf("verified: adaptive replan recovers %.0f%% of the 4x-drop regression "

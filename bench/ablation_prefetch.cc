@@ -170,19 +170,13 @@ int main() {
 
   std::printf("%s\n", table.render().c_str());
 
-  Json artifact = Json::object();
-  artifact.set("kind", "sophon.bench_prefetch");
-  artifact.set("version", 1);
-  artifact.set("samples", static_cast<std::int64_t>(kSamples));
-  artifact.set("seed", static_cast<std::int64_t>(kSeed));
-  artifact.set("epoch", static_cast<std::int64_t>(kEpoch));
-  artifact.set("rows", rows);
-  const char* out = "BENCH_prefetch.json";
-  if (!core::save_json_file(artifact, out)) {
-    std::fprintf(stderr, "failed to write %s\n", out);
+  if (!bench::ArtifactEmitter("sophon.bench_prefetch")
+           .meta("samples", static_cast<std::int64_t>(kSamples))
+           .meta("seed", static_cast<std::int64_t>(kSeed))
+           .meta("epoch", static_cast<std::int64_t>(kEpoch))
+           .write("BENCH_prefetch.json", rows)) {
     return 1;
   }
-  std::printf("wrote %s\n", out);
 
   if (link_bound_wins == link_bound_configs && traffic_violations == 0) {
     std::printf("verified: prefetch depth>=4 beats demand on %zu/%zu link-bound configs, "

@@ -5,9 +5,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "core/runner.h"
+#include "core/serialize.h"
 #include "dataset/catalog.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -40,6 +43,40 @@ inline dataset::Catalog imagenet_catalog() {
 inline std::string gb(Bytes b) {
   return strf("%.2f GB", b.as_double() / 1e9);
 }
+
+/// Builder for the committed BENCH_*.json artifacts (ablation_adapt,
+/// ablation_prefetch, ablation_materialize, ...). All of them share one
+/// schema shape — `kind` + `version` + flat meta keys + a `rows` array —
+/// which the EXPERIMENTS.md tooling relies on; routing every bench through
+/// this emitter keeps that shape from drifting per bench.
+class ArtifactEmitter {
+ public:
+  explicit ArtifactEmitter(const char* kind, std::int64_t version = 1) {
+    json_.set("kind", kind);
+    json_.set("version", version);
+  }
+
+  /// Record one top-level meta key (samples, seed, sweep parameters, ...).
+  ArtifactEmitter& meta(const char* key, Json value) {
+    json_.set(key, std::move(value));
+    return *this;
+  }
+
+  /// Attach the row array and write the artifact. Prints the outcome either
+  /// way; false on I/O failure so main() can exit non-zero.
+  [[nodiscard]] bool write(const char* path, Json rows) {
+    json_.set("rows", std::move(rows));
+    if (!core::save_json_file(json_, path)) {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return false;
+    }
+    std::printf("wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  Json json_ = Json::object();
+};
 
 inline void print_header(const char* experiment, const char* paper_summary) {
   std::printf("==============================================================\n");

@@ -114,4 +114,10 @@ std::size_t Pipeline::min_size_stage(const SampleShape& raw) const {
   return best_stage;
 }
 
+std::size_t Pipeline::deterministic_prefix() const {
+  std::size_t prefix = 0;
+  while (prefix < ops_.size() && !ops_[prefix]->is_random()) ++prefix;
+  return prefix;
+}
+
 }  // namespace sophon::pipeline

@@ -76,6 +76,12 @@ class Pipeline {
   /// storage CPU for the same traffic).
   [[nodiscard]] std::size_t min_size_stage(const SampleShape& raw) const;
 
+  /// Length of the longest prefix made only of deterministic ops — the
+  /// deepest stage at which a sample may be persisted across epochs. Beyond
+  /// it, ops draw per-(epoch, sample) augmentation streams, so a cached
+  /// result from one epoch would be wrong for every other (paper §3.3).
+  [[nodiscard]] std::size_t deterministic_prefix() const;
+
  private:
   std::vector<std::unique_ptr<PreprocessOp>> ops_;
 };

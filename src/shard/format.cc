@@ -1,0 +1,281 @@
+#include "shard/format.h"
+
+#include <cstring>
+
+#include "net/wire.h"
+#include "util/check.h"
+#include "util/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SOPHON_SHARD_HAVE_MMAP 1
+#endif
+
+namespace sophon::shard {
+
+namespace {
+
+// All multi-byte fields are explicit little-endian byte sequences, written
+// and read with shifts — independent of host endianness and free of the
+// unaligned-load UB that casting into a mapped file invites.
+void store_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store_u64(std::uint8_t* out, std::uint64_t v) {
+  store_u32(out, static_cast<std::uint32_t>(v));
+  store_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t load_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) | static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 | static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t load_u64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(load_u32(in)) |
+         static_cast<std::uint64_t>(load_u32(in + 4)) << 32;
+}
+
+// Index record layout, 40 bytes:
+//   [0,8) id  [8,16) offset  [16,24) length  [24,28) crc
+//   [28,32) width  [32,36) height  [36] stage  [37] repr  [38] channels
+//   [39] zero padding
+void encode_entry(const ShardEntry& entry, std::uint8_t* out) {
+  store_u64(out, entry.sample_id);
+  store_u64(out + 8, entry.offset);
+  store_u64(out + 16, entry.length);
+  store_u32(out + 24, entry.crc);
+  store_u32(out + 28, entry.width);
+  store_u32(out + 32, entry.height);
+  out[36] = entry.stage;
+  out[37] = static_cast<std::uint8_t>(entry.repr);
+  out[38] = entry.channels;
+  out[39] = 0;
+}
+
+bool decode_entry(const std::uint8_t* in, ShardEntry& entry) {
+  entry.sample_id = load_u64(in);
+  entry.offset = load_u64(in + 8);
+  entry.length = load_u64(in + 16);
+  entry.crc = load_u32(in + 24);
+  entry.width = load_u32(in + 28);
+  entry.height = load_u32(in + 32);
+  entry.stage = in[36];
+  if (in[37] > static_cast<std::uint8_t>(pipeline::Repr::kTensor)) return false;
+  entry.repr = static_cast<pipeline::Repr>(in[37]);
+  entry.channels = in[38];
+  return true;
+}
+
+}  // namespace
+
+pipeline::SampleShape ShardEntry::shape() const {
+  pipeline::SampleShape s;
+  s.repr = repr;
+  s.width = static_cast<int>(width);
+  s.height = static_cast<int>(height);
+  s.channels = static_cast<int>(channels);
+  // For encoded payloads the blob size is authoritative: framed length minus
+  // the fixed wire overhead. Derived from dimensions otherwise.
+  if (repr == pipeline::Repr::kEncoded) {
+    s.bytes = Bytes(static_cast<std::int64_t>(length) - net::kFrameOverheadBytes);
+  } else {
+    s.bytes = s.byte_size();
+  }
+  return s;
+}
+
+ShardWriter::ShardWriter(std::filesystem::path path)
+    : path_(std::move(path)), tmp_path_(path_.string() + ".tmp") {
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (out_) {
+    const std::array<char, kHeaderBytes> placeholder{};
+    out_.write(placeholder.data(), placeholder.size());
+  }
+}
+
+ShardWriter::~ShardWriter() {
+  if (!finished_) {
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
+}
+
+bool ShardWriter::add(std::uint64_t sample_id, std::uint8_t stage,
+                      const pipeline::SampleData& payload) {
+  if (!out_ || finished_) return false;
+  if (by_id_.contains(sample_id)) return false;
+  const auto framed = net::serialize_sample(payload);
+  const auto shape = pipeline::shape_of(payload);
+
+  ShardEntry entry;
+  entry.sample_id = sample_id;
+  entry.offset = cursor_;
+  entry.length = framed.size();
+  entry.crc = crc32(framed);
+  entry.stage = stage;
+  entry.repr = shape.repr;
+  entry.channels = static_cast<std::uint8_t>(shape.channels);
+  entry.width = static_cast<std::uint32_t>(shape.width);
+  entry.height = static_cast<std::uint32_t>(shape.height);
+
+  out_.write(reinterpret_cast<const char*>(framed.data()),
+             static_cast<std::streamsize>(framed.size()));
+  if (!out_) return false;
+  by_id_.emplace(sample_id, entries_.size());
+  entries_.push_back(entry);
+  cursor_ += framed.size();
+  payload_bytes_ += Bytes(static_cast<std::int64_t>(framed.size()));
+  return true;
+}
+
+Bytes ShardWriter::file_bytes() const {
+  return Bytes(static_cast<std::int64_t>(cursor_ + entries_.size() * kIndexEntryBytes));
+}
+
+bool ShardWriter::finish() {
+  if (!out_ || finished_) return false;
+  finished_ = true;
+
+  std::vector<std::uint8_t> index(entries_.size() * kIndexEntryBytes);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    encode_entry(entries_[i], index.data() + i * kIndexEntryBytes);
+  }
+  out_.write(reinterpret_cast<const char*>(index.data()),
+             static_cast<std::streamsize>(index.size()));
+
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  std::memcpy(header.data(), kMagic.data(), kMagic.size());
+  store_u32(header.data() + 8, kFormatVersion);
+  store_u64(header.data() + 12, entries_.size());
+  store_u64(header.data() + 20, cursor_);
+  store_u32(header.data() + 28, crc32(index));
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  const bool wrote = static_cast<bool>(out_);
+  out_.close();
+  if (!wrote) return false;
+
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  return !ec;
+}
+
+// -- reader -----------------------------------------------------------------
+
+struct ShardReader::Mapping {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+#ifdef SOPHON_SHARD_HAVE_MMAP
+  void* mapped = nullptr;
+#endif
+  std::vector<std::uint8_t> buffer;  // fallback when mmap is unavailable
+
+  ~Mapping() {
+#ifdef SOPHON_SHARD_HAVE_MMAP
+    if (mapped != nullptr) ::munmap(mapped, size);
+#endif
+  }
+
+  static std::unique_ptr<Mapping> open(const std::filesystem::path& path) {
+    auto m = std::make_unique<Mapping>();
+#ifdef SOPHON_SHARD_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+                         fd, 0);
+        if (p != MAP_FAILED) {
+          m->mapped = p;
+          m->data = static_cast<const std::uint8_t*>(p);
+          m->size = static_cast<std::size_t>(st.st_size);
+          ::close(fd);
+          return m;
+        }
+      }
+      ::close(fd);
+    }
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return nullptr;
+    m->buffer.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) return nullptr;
+    m->data = m->buffer.data();
+    m->size = m->buffer.size();
+    return m;
+  }
+};
+
+ShardReader::~ShardReader() = default;
+ShardReader::ShardReader(ShardReader&&) noexcept = default;
+ShardReader& ShardReader::operator=(ShardReader&&) noexcept = default;
+
+std::optional<ShardReader> ShardReader::open(const std::filesystem::path& path) {
+  auto mapping = Mapping::open(path);
+  if (mapping == nullptr || mapping->size < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* data = mapping->data;
+  const std::size_t size = mapping->size;
+
+  if (std::memcmp(data, kMagic.data(), kMagic.size()) != 0) return std::nullopt;
+  if (load_u32(data + 8) != kFormatVersion) return std::nullopt;
+  const std::uint64_t count = load_u64(data + 12);
+  const std::uint64_t index_offset = load_u64(data + 20);
+  const std::uint32_t index_crc = load_u32(data + 28);
+
+  // The index must sit entirely inside the file, after the payload region,
+  // and account for the exact tail — anything else is a truncated or
+  // tampered file. All arithmetic is bounds-checked before use.
+  if (index_offset < kHeaderBytes || index_offset > size) return std::nullopt;
+  if (count > (size - index_offset) / kIndexEntryBytes) return std::nullopt;
+  if (index_offset + count * kIndexEntryBytes != size) return std::nullopt;
+  const std::span<const std::uint8_t> index(data + index_offset, count * kIndexEntryBytes);
+  if (crc32(index) != index_crc) return std::nullopt;
+
+  ShardReader reader;
+  reader.entries_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ShardEntry entry;
+    if (!decode_entry(index.data() + i * kIndexEntryBytes, entry)) return std::nullopt;
+    if (entry.offset < kHeaderBytes || entry.offset > index_offset) return std::nullopt;
+    if (entry.length > index_offset - entry.offset) return std::nullopt;
+    if (!reader.by_id_.emplace(entry.sample_id, reader.entries_.size()).second) {
+      return std::nullopt;  // duplicate sample id
+    }
+    reader.entries_.push_back(entry);
+  }
+  reader.mapping_ = std::move(mapping);
+  return reader;
+}
+
+Bytes ShardReader::file_bytes() const {
+  return Bytes(static_cast<std::int64_t>(mapping_->size));
+}
+
+const ShardEntry* ShardReader::find(std::uint64_t sample_id) const {
+  const auto it = by_id_.find(sample_id);
+  return it == by_id_.end() ? nullptr : &entries_[it->second];
+}
+
+std::span<const std::uint8_t> ShardReader::payload(const ShardEntry& entry) const {
+  SOPHON_CHECK(entry.offset + entry.length <= mapping_->size);
+  return {mapping_->data + entry.offset, static_cast<std::size_t>(entry.length)};
+}
+
+std::optional<std::span<const std::uint8_t>> ShardReader::read_verified(
+    const ShardEntry& entry) const {
+  const auto bytes = payload(entry);
+  if (crc32(bytes) != entry.crc) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace sophon::shard

@@ -1,0 +1,139 @@
+// The packed shard container: one file holding many samples materialised at
+// chosen pipeline stages, FFCV-style.
+//
+// DiskStore keeps one file per raw blob — fine for ingest, hopeless for a
+// hot serving path (an open/read/close per sample, no integrity checking).
+// A shard packs the *preprocessed* payloads back-to-back with a fixed-size
+// index, so the storage server can mmap the file once and serve any
+// materialised sample as a `std::span` without touching the allocator or
+// re-running the pipeline prefix.
+//
+// On-disk layout (all integers little-endian):
+//
+//   [0, 32)            header: magic "SPSHRD01", format version u32,
+//                      entry count u64, index offset u64, index crc32 u32
+//   [32, index_offset) payload region: each entry's framed wire bytes
+//                      (exactly net::serialize_sample output, so a stage-
+//                      matched fetch ships the stored bytes verbatim)
+//   [index_offset, …)  index: entry-count fixed 40-byte records
+//
+// Every entry carries a crc32 of its payload bytes; ShardReader re-checks it
+// on `read_verified`, which is what lets the storage server detect bit rot
+// and fall back to live prefix execution instead of shipping garbage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/sample.h"
+#include "util/units.h"
+
+namespace sophon::shard {
+
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'S', 'P', 'S', 'H', 'R', 'D', '0', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kIndexEntryBytes = 40;
+
+/// One index record: where a sample's payload lives and what it is.
+struct ShardEntry {
+  std::uint64_t sample_id = 0;
+  std::uint64_t offset = 0;  // payload start, from file start
+  std::uint64_t length = 0;  // payload bytes (framed wire size)
+  std::uint32_t crc = 0;     // crc32 of the payload bytes
+  std::uint8_t stage = 0;    // pipeline stage the payload is materialised at
+  pipeline::Repr repr = pipeline::Repr::kEncoded;
+  std::uint8_t channels = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+
+  /// The analytic shape of the stored payload (sans framing).
+  [[nodiscard]] pipeline::SampleShape shape() const;
+};
+
+/// Streams payloads to `<path>.tmp`, then writes index + header and renames
+/// into place on `finish()` — a crash mid-pack never leaves a torn shard.
+class ShardWriter {
+ public:
+  explicit ShardWriter(std::filesystem::path path);
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// Append one sample materialised at `stage`. Serialises with the wire
+  /// framing, checksums, and records the index entry. False on I/O error or
+  /// duplicate id.
+  bool add(std::uint64_t sample_id, std::uint8_t stage, const pipeline::SampleData& payload);
+
+  [[nodiscard]] std::size_t count() const { return entries_.size(); }
+  [[nodiscard]] Bytes payload_bytes() const { return payload_bytes_; }
+
+  /// Total on-disk size the shard will have after finish(): header +
+  /// payloads + index.
+  [[nodiscard]] Bytes file_bytes() const;
+
+  /// Write index + header, fsync-free rename into place. False on error;
+  /// the writer is unusable afterwards either way.
+  bool finish();
+
+ private:
+  std::filesystem::path path_;
+  std::filesystem::path tmp_path_;
+  std::ofstream out_;
+  std::vector<ShardEntry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> by_id_;
+  std::uint64_t cursor_ = kHeaderBytes;
+  Bytes payload_bytes_;
+  bool finished_ = false;
+};
+
+/// Read side: maps the whole file (mmap when available, buffered read as the
+/// fallback) and exposes zero-copy spans over entry payloads.
+class ShardReader {
+ public:
+  /// Open and validate a shard. nullopt when the file is missing, the magic
+  /// or version is wrong, the index is truncated / fails its crc, or any
+  /// entry points outside the payload region — a malformed shard is rejected
+  /// wholesale rather than trusted entry by entry.
+  [[nodiscard]] static std::optional<ShardReader> open(const std::filesystem::path& path);
+
+  // Out of line: Mapping is incomplete here.
+  ~ShardReader();
+  ShardReader(ShardReader&&) noexcept;
+  ShardReader& operator=(ShardReader&&) noexcept;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<ShardEntry>& entries() const { return entries_; }
+  [[nodiscard]] Bytes file_bytes() const;
+
+  /// Index lookup by sample id; nullptr when the sample is not in the shard.
+  [[nodiscard]] const ShardEntry* find(std::uint64_t sample_id) const;
+
+  /// The entry's payload bytes, zero-copy, *without* integrity checking.
+  [[nodiscard]] std::span<const std::uint8_t> payload(const ShardEntry& entry) const;
+
+  /// The entry's payload after re-computing its crc32. nullopt on mismatch —
+  /// the caller falls back to live execution (and bumps its corrupt
+  /// counter); the mapping itself is untouched.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> read_verified(
+      const ShardEntry& entry) const;
+
+ private:
+  struct Mapping;  // mmap-or-buffer, released on destruction
+
+  ShardReader() = default;
+
+  std::unique_ptr<Mapping> mapping_;
+  std::vector<ShardEntry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> by_id_;
+};
+
+}  // namespace sophon::shard

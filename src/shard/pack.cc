@@ -1,0 +1,39 @@
+#include "shard/pack.h"
+
+#include "dataset/synth.h"
+#include "shard/format.h"
+#include "util/check.h"
+
+namespace sophon::shard {
+
+std::optional<PackStats> pack_catalog(const dataset::Catalog& catalog, std::uint64_t seed,
+                                      int quality, const pipeline::Pipeline& pipeline,
+                                      const pipeline::CostModel& cost_model,
+                                      const MaterializationPlan& plan,
+                                      const std::filesystem::path& out) {
+  const std::size_t deterministic = pipeline.deterministic_prefix();
+  ShardWriter writer(out);
+  PackStats stats;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const std::size_t stage = plan.stage_of(i);
+    if (stage == 0) continue;
+    SOPHON_CHECK_MSG(stage <= deterministic,
+                     "materialisation stage crosses a random op — not epoch-invariant");
+    const auto& meta = catalog.sample(i);
+    pipeline::EncodedBlob blob;
+    blob.bytes = dataset::materialize_encoded(meta, seed, quality);
+    // Ops [0, stage) are all deterministic (checked above), so the stream
+    // seed is irrelevant to the output — any epoch's serving of this prefix
+    // produces exactly these bytes.
+    auto payload = pipeline.run_seeded(std::move(blob), 0, stage, /*stream_seed=*/0);
+    if (!writer.add(meta.id, static_cast<std::uint8_t>(stage), payload)) return std::nullopt;
+    stats.modeled_cpu += pipeline.prefix_cost(meta.raw, stage, cost_model);
+  }
+  stats.entries = writer.count();
+  stats.payload_bytes = writer.payload_bytes();
+  stats.file_bytes = writer.file_bytes();
+  if (!writer.finish()) return std::nullopt;
+  return stats;
+}
+
+}  // namespace sophon::shard

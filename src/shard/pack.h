@@ -1,0 +1,37 @@
+// Materialise a plan into a shard file: execute each selected sample's
+// deterministic pipeline prefix and stream the result through ShardWriter.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+#include "dataset/catalog.h"
+#include "pipeline/cost_model.h"
+#include "pipeline/pipeline.h"
+#include "shard/planner.h"
+#include "util/units.h"
+
+namespace sophon::shard {
+
+struct PackStats {
+  std::size_t entries = 0;
+  Bytes payload_bytes;   // framed payload bytes inside the shard
+  Bytes file_bytes;      // total on-disk size (header + payloads + index)
+  Seconds modeled_cpu;   // one-time modeled CPU spent running the prefixes
+};
+
+/// Execute every materialised sample's prefix over the catalog's synthetic
+/// blobs (same `seed`/`quality` the storage tier uses, so the stored bytes
+/// are bit-identical to what live execution would produce) and write the
+/// shard to `out`. Enforces that every packed stage is within the
+/// pipeline's deterministic prefix — persisting a random op's output would
+/// freeze one epoch's augmentations. nullopt on I/O failure.
+[[nodiscard]] std::optional<PackStats> pack_catalog(const dataset::Catalog& catalog,
+                                                    std::uint64_t seed, int quality,
+                                                    const pipeline::Pipeline& pipeline,
+                                                    const pipeline::CostModel& cost_model,
+                                                    const MaterializationPlan& plan,
+                                                    const std::filesystem::path& out);
+
+}  // namespace sophon::shard

@@ -16,7 +16,8 @@ std::string blob_file_name(std::uint64_t sample_id) {
 }
 }  // namespace
 
-DiskStore::DiskStore(std::filesystem::path root) : root_(std::move(root)) {
+DiskStore::DiskStore(std::filesystem::path root, MetricsRegistry* metrics)
+    : root_(std::move(root)), metrics_(metrics) {
   std::filesystem::create_directories(root_);
   load_manifest();
 }
@@ -90,11 +91,22 @@ std::optional<std::vector<std::uint8_t>> DiskStore::get(std::uint64_t sample_id)
     if (it == index_.end()) return std::nullopt;
     entry = it->second;
   }
+  const auto corrupt = [this]() -> std::optional<std::vector<std::uint8_t>> {
+    if (metrics_ != nullptr) metrics_->counter("sophon_diskstore_corrupt").increment();
+    return std::nullopt;
+  };
+  // The manifest is the authority on each blob's size: a file that shrank
+  // (truncation) or grew (stray append/overwrite) behind the manifest's
+  // back must surface as corruption, not as a silently short/long read.
+  std::error_code ec;
+  const auto on_disk = std::filesystem::file_size(root_ / entry.file, ec);
+  if (ec) return std::nullopt;  // vanished: absent, not corrupt
+  if (on_disk != static_cast<std::uintmax_t>(entry.bytes)) return corrupt();
   std::ifstream in(root_ / entry.file, std::ios::binary);
   if (!in) return std::nullopt;
   std::vector<std::uint8_t> blob(static_cast<std::size_t>(entry.bytes));
   in.read(reinterpret_cast<char*>(blob.data()), entry.bytes);
-  if (in.gcount() != entry.bytes) return std::nullopt;
+  if (in.gcount() != entry.bytes) return corrupt();
   return blob;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dataset/catalog.h"
+#include "util/telemetry.h"
 #include "util/units.h"
 
 namespace sophon::storage {
@@ -24,13 +25,17 @@ namespace sophon::storage {
 class DiskStore {
  public:
   /// Open (or create) a store rooted at `root`. An existing manifest is
-  /// loaded; otherwise the store starts empty.
-  explicit DiskStore(std::filesystem::path root);
+  /// loaded; otherwise the store starts empty. When `metrics` is set, blobs
+  /// whose on-disk size disagrees with the manifest bump
+  /// sophon_diskstore_corrupt (the registry must outlive the store).
+  explicit DiskStore(std::filesystem::path root, MetricsRegistry* metrics = nullptr);
 
   /// Write a blob for `sample_id` (overwrites). Returns false on I/O error.
   bool put(std::uint64_t sample_id, const std::vector<std::uint8_t>& blob);
 
-  /// Read a blob. nullopt if absent or unreadable.
+  /// Read a blob. nullopt if absent, unreadable, or when the file's size
+  /// disagrees with the manifest — a truncated or tampered blob is a
+  /// corruption signal (counted in sophon_diskstore_corrupt), never data.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(std::uint64_t sample_id) const;
 
   [[nodiscard]] bool contains(std::uint64_t sample_id) const;
@@ -59,6 +64,7 @@ class DiskStore {
   bool write_manifest_locked() const;
 
   std::filesystem::path root_;
+  MetricsRegistry* metrics_ = nullptr;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> index_;
 };

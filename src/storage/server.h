@@ -17,6 +17,7 @@
 #include <mutex>
 
 #include "net/rpc.h"
+#include "shard/format.h"
 #include "util/telemetry.h"
 #include "pipeline/cost_model.h"
 #include "pipeline/pipeline.h"
@@ -39,6 +40,12 @@ class StorageServer final : public net::StorageService {
     /// sophon_server_prefix_cpu duration into this registry (which must
     /// outlive the server).
     MetricsRegistry* metrics = nullptr;
+    /// Optional packed shard of pre-materialised pipeline prefixes (see
+    /// src/shard/). When a requested prefix is materialised at or below the
+    /// directive's cut, the server serves the stored bytes (crc-verified)
+    /// instead of re-running the prefix — and falls back to live execution
+    /// when the check fails. Borrowed; must outlive the server.
+    const shard::ShardReader* shard = nullptr;
   };
 
   /// Borrows the store and pipeline; the caller keeps them alive.
@@ -50,9 +57,17 @@ class StorageServer final : public net::StorageService {
   [[nodiscard]] net::FetchResponse fetch(const net::FetchRequest& request) override;
 
   /// Modeled single-core CPU seconds spent on offloaded prefixes so far.
+  /// Shard-served stages cost nothing here — that saving is the whole point.
   [[nodiscard]] Seconds modeled_cpu_time() const;
   [[nodiscard]] std::uint64_t requests_served() const;
   [[nodiscard]] std::uint64_t offloaded_requests() const;
+
+  /// Shard serving outcomes (zero when no shard is attached). Every fetch
+  /// with a shard attached lands in exactly one bucket: hit (stored prefix
+  /// shipped), corrupt (crc failed, live fallback), or miss.
+  [[nodiscard]] std::uint64_t shard_hits() const;
+  [[nodiscard]] std::uint64_t shard_misses() const;
+  [[nodiscard]] std::uint64_t shard_corrupt() const;
 
   void reset_counters();
 
@@ -65,6 +80,9 @@ class StorageServer final : public net::StorageService {
   Seconds cpu_time_;
   std::uint64_t requests_ = 0;
   std::uint64_t offloaded_ = 0;
+  std::uint64_t shard_hits_ = 0;
+  std::uint64_t shard_misses_ = 0;
+  std::uint64_t shard_corrupt_ = 0;
 };
 
 }  // namespace sophon::storage

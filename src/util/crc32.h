@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the integrity check the
+// packed shard format stores per entry. Table-driven, byte-at-a-time: fast
+// enough for multi-megabyte payloads, and the polynomial matches zlib/PNG
+// so shard files can be cross-checked with standard tooling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sophon {
+
+/// CRC-32 of `data`. Pass a previous result as `seed` to checksum a stream
+/// in chunks: crc32(b, crc32(a)) == crc32(ab).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace sophon

@@ -1,0 +1,209 @@
+#include "shard/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/crc32.h"
+
+namespace sophon::shard {
+namespace {
+
+class ShardFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sophon_shard_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ / "test.spshrd";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static pipeline::SampleData blob(std::uint8_t fill, std::size_t n) {
+    pipeline::EncodedBlob b;
+    b.bytes.assign(n, fill);
+    return b;
+  }
+
+  /// Write a 3-entry shard and return the framed payloads keyed by id.
+  std::vector<std::vector<std::uint8_t>> write_shard() {
+    std::vector<std::vector<std::uint8_t>> framed;
+    ShardWriter writer(path_);
+    for (std::uint64_t id = 0; id < 3; ++id) {
+      const auto payload = blob(static_cast<std::uint8_t>(0x10 + id), 100 + 7 * id);
+      EXPECT_TRUE(writer.add(id, static_cast<std::uint8_t>(1 + id % 2), payload));
+      framed.push_back(net::serialize_sample(payload));
+    }
+    EXPECT_TRUE(writer.finish());
+    return framed;
+  }
+
+  std::vector<std::uint8_t> read_file() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  void write_file(const std::vector<std::uint8_t>& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+  std::filesystem::path path_;
+};
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The canonical CRC-32/IEEE check string.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(data, 9)), 0xCBF43926u);
+  // Chunked evaluation must match one-shot.
+  const auto first = crc32(std::span<const std::uint8_t>(data, 4));
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(data + 4, 5), first),
+            crc32(std::span<const std::uint8_t>(data, 9)));
+}
+
+TEST_F(ShardFormatTest, RoundTrip) {
+  const auto framed = write_shard();
+  auto reader = ShardReader::open(path_);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->size(), 3u);
+  EXPECT_EQ(static_cast<std::uintmax_t>(reader->file_bytes().count()),
+            std::filesystem::file_size(path_));
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    const auto* entry = reader->find(id);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->sample_id, id);
+    EXPECT_EQ(entry->stage, 1 + id % 2);
+    EXPECT_EQ(entry->repr, pipeline::Repr::kEncoded);
+    const auto verified = reader->read_verified(*entry);
+    ASSERT_TRUE(verified.has_value());
+    ASSERT_EQ(verified->size(), framed[id].size());
+    EXPECT_TRUE(std::equal(verified->begin(), verified->end(), framed[id].begin()));
+    // The stored bytes parse back into the original payload.
+    const auto parsed = net::deserialize_sample(*verified);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(std::get<pipeline::EncodedBlob>(*parsed).bytes.size(), 100 + 7 * id);
+    // Encoded shape: blob size is framed length minus wire overhead.
+    EXPECT_EQ(entry->shape().bytes.count(),
+              static_cast<std::int64_t>(entry->length) - net::kFrameOverheadBytes);
+  }
+  EXPECT_EQ(reader->find(99), nullptr);
+}
+
+TEST_F(ShardFormatTest, DuplicateIdRejected) {
+  ShardWriter writer(path_);
+  EXPECT_TRUE(writer.add(5, 1, blob(1, 10)));
+  EXPECT_FALSE(writer.add(5, 1, blob(2, 10)));
+  EXPECT_EQ(writer.count(), 1u);
+}
+
+TEST_F(ShardFormatTest, UnfinishedWriterLeavesNoFile) {
+  {
+    ShardWriter writer(path_);
+    EXPECT_TRUE(writer.add(1, 1, blob(1, 64)));
+    // no finish(): simulated crash mid-pack
+  }
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST_F(ShardFormatTest, OpenRejectsMissingAndTiny) {
+  EXPECT_FALSE(ShardReader::open(path_).has_value());
+  write_file({1, 2, 3});
+  EXPECT_FALSE(ShardReader::open(path_).has_value());
+}
+
+TEST_F(ShardFormatTest, OpenRejectsBadMagicAndVersion) {
+  write_shard();
+  auto bytes = read_file();
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  write_file(bad_magic);
+  EXPECT_FALSE(ShardReader::open(path_).has_value());
+  auto bad_version = bytes;
+  bad_version[8] ^= 0x02;
+  write_file(bad_version);
+  EXPECT_FALSE(ShardReader::open(path_).has_value());
+}
+
+TEST_F(ShardFormatTest, EveryTruncationRejectedAtOpen) {
+  write_shard();
+  const auto bytes = read_file();
+  // The header pins count, index offset, and total size into one equation;
+  // any shorter file breaks it, so no truncation length can slip through.
+  for (std::size_t keep = 0; keep < bytes.size(); keep += 13) {
+    write_file({bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep)});
+    EXPECT_FALSE(ShardReader::open(path_).has_value()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(ShardFormatTest, IndexBitFlipRejectedAtOpen) {
+  write_shard();
+  auto bytes = read_file();
+  // Index occupies the tail; flip a byte in its middle.
+  bytes[bytes.size() - kIndexEntryBytes - 4] ^= 0x40;
+  write_file(bytes);
+  EXPECT_FALSE(ShardReader::open(path_).has_value());
+}
+
+TEST_F(ShardFormatTest, PayloadBitFlipCaughtByReadVerified) {
+  write_shard();
+  auto bytes = read_file();
+  auto pristine = ShardReader::open(path_);
+  ASSERT_TRUE(pristine.has_value());
+  const auto* found = pristine->find(1);
+  ASSERT_NE(found, nullptr);
+  const ShardEntry victim = *found;  // copy: found dies with the reader
+  bytes[victim.offset + victim.length / 2] ^= 0x01;
+  pristine.reset();  // release the mapping before rewriting the file
+  write_file(bytes);
+
+  auto reader = ShardReader::open(path_);
+  ASSERT_TRUE(reader.has_value());  // index is intact, open succeeds
+  EXPECT_FALSE(reader->read_verified(*reader->find(1)).has_value());
+  // Unverified access still sees the (corrupt) bytes — crc is the only gate.
+  EXPECT_EQ(reader->payload(*reader->find(1)).size(), victim.length);
+  // The other entries remain readable.
+  EXPECT_TRUE(reader->read_verified(*reader->find(0)).has_value());
+  EXPECT_TRUE(reader->read_verified(*reader->find(2)).has_value());
+}
+
+TEST_F(ShardFormatTest, EntryPointingOutsidePayloadRegionRejected) {
+  write_shard();
+  auto bytes = read_file();
+  // Entry 0's length field sits at index start + 16; inflate it so
+  // offset + length crosses the index, and re-seal the index crc so only the
+  // bounds check can reject it.
+  const std::size_t index_offset = bytes.size() - 3 * kIndexEntryBytes;
+  bytes[index_offset + 16] = 0xFF;
+  bytes[index_offset + 17] = 0xFF;
+  const std::uint32_t new_crc =
+      crc32(std::span<const std::uint8_t>(bytes.data() + index_offset, 3 * kIndexEntryBytes));
+  bytes[28] = static_cast<std::uint8_t>(new_crc);
+  bytes[29] = static_cast<std::uint8_t>(new_crc >> 8);
+  bytes[30] = static_cast<std::uint8_t>(new_crc >> 16);
+  bytes[31] = static_cast<std::uint8_t>(new_crc >> 24);
+  write_file(bytes);
+  EXPECT_FALSE(ShardReader::open(path_).has_value());
+}
+
+TEST_F(ShardFormatTest, EmptyShardRoundTrips) {
+  {
+    ShardWriter writer(path_);
+    EXPECT_TRUE(writer.finish());
+  }
+  auto reader = ShardReader::open(path_);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->size(), 0u);
+  EXPECT_EQ(reader->find(0), nullptr);
+}
+
+}  // namespace
+}  // namespace sophon::shard

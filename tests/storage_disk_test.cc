@@ -107,5 +107,45 @@ TEST_F(DiskStoreTest, RejectsEmptyBlob) {
   EXPECT_THROW((void)store.put(1, {}), ContractViolation);
 }
 
+TEST_F(DiskStoreTest, TruncatedBlobIsCorruptionNotData) {
+  MetricsRegistry metrics;
+  DiskStore store(root_, &metrics);
+  ASSERT_TRUE(store.put(3, {1, 2, 3, 4, 5, 6}));
+  // Truncate the blob behind the manifest's back.
+  const auto file = [&] {
+    for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+      if (entry.path().extension() == ".sjpg") return entry.path();
+    }
+    return std::filesystem::path{};
+  }();
+  ASSERT_FALSE(file.empty());
+  std::filesystem::resize_file(file, 2);
+  EXPECT_FALSE(store.get(3).has_value());
+  EXPECT_EQ(metrics.counter("sophon_diskstore_corrupt").value(), 1u);
+  // A blob that *grew* is just as suspect as one that shrank.
+  std::filesystem::resize_file(file, 64);
+  EXPECT_FALSE(store.get(3).has_value());
+  EXPECT_EQ(metrics.counter("sophon_diskstore_corrupt").value(), 2u);
+}
+
+TEST_F(DiskStoreTest, VanishedBlobIsAbsentNotCorrupt) {
+  MetricsRegistry metrics;
+  DiskStore store(root_, &metrics);
+  ASSERT_TRUE(store.put(4, {9, 9}));
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.path().extension() == ".sjpg") std::filesystem::remove(entry.path());
+  }
+  EXPECT_FALSE(store.get(4).has_value());
+  EXPECT_EQ(metrics.counter("sophon_diskstore_corrupt").value(), 0u);
+}
+
+TEST_F(DiskStoreTest, IntactBlobDoesNotBumpCorruptCounter) {
+  MetricsRegistry metrics;
+  DiskStore store(root_, &metrics);
+  ASSERT_TRUE(store.put(5, {1, 2, 3}));
+  EXPECT_TRUE(store.get(5).has_value());
+  EXPECT_EQ(metrics.counter("sophon_diskstore_corrupt").value(), 0u);
+}
+
 }  // namespace
 }  // namespace sophon::storage

@@ -1,0 +1,254 @@
+// End-to-end shard serving: the tentpole's bit-identity guarantee. A fetch
+// served from the packed shard must be indistinguishable — to the bit, at
+// every prefetch depth and worker count — from one that ran the pipeline
+// prefix live, and a corrupted shard entry must fall back to live execution
+// rather than ship garbage.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "loader/loader.h"
+#include "net/wire.h"
+#include "pipeline/extra_ops.h"
+#include "shard/format.h"
+#include "shard/pack.h"
+#include "storage/dataset_store.h"
+#include "storage/server.h"
+
+namespace sophon::storage {
+namespace {
+
+class ShardServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sophon_shard_serving_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path shard_path() const { return dir_ / "test.spshrd"; }
+
+  void flip_byte(std::uint64_t offset) const {
+    std::fstream f(shard_path(), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(byte ^ 0x01));
+  }
+
+  std::filesystem::path dir_;
+};
+
+struct Fixture {
+  explicit Fixture(pipeline::Pipeline pipeline = pipeline::Pipeline::standard())
+      : pipe(std::move(pipeline)) {}
+
+  dataset::DatasetProfile profile = [] {
+    auto p = dataset::openimages_profile(24);
+    p.min_pixels = 6e4;
+    p.max_pixels = 2.5e5;
+    return p;
+  }();
+  dataset::Catalog catalog = dataset::Catalog::generate(profile, 42);
+  pipeline::Pipeline pipe;
+  pipeline::CostModel cm;
+  storage::DatasetStore store{catalog, 42, profile.quality};
+  storage::StorageServer plain{store, pipe, cm, {.seed = 42}};
+
+  /// Every 3rd sample offloaded at prefix 2 (prefix 1 for a 1-op-deep cut
+  /// when the pipeline's deterministic prefix is 1, the shard still serves
+  /// the decode stage under it).
+  core::OffloadPlan mixed_plan() {
+    core::OffloadPlan plan(catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      plan.set(i, static_cast<std::uint8_t>(i % 3 == 0 ? 2 : 0));
+    }
+    return plan;
+  }
+
+  /// Materialise every offloaded sample at `stage` into a shard file.
+  shard::MaterializationPlan materialize_offloaded(const core::OffloadPlan& plan,
+                                                   std::uint8_t stage) {
+    shard::MaterializationPlan mat;
+    mat.stage.assign(catalog.size(), 0);
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      if (plan.prefix(i) > 0) {
+        mat.stage[i] = stage;
+        ++mat.materialized;
+      }
+    }
+    return mat;
+  }
+
+  std::map<std::uint64_t, image::Tensor> reference(const core::OffloadPlan& plan,
+                                                   std::size_t epoch) {
+    std::map<std::uint64_t, image::Tensor> out;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      net::FetchRequest req;
+      req.sample_id = i;
+      req.epoch = epoch;
+      req.directive.prefix_len = plan.prefix(i);
+      const auto resp = plain.fetch(req);
+      auto payload = net::deserialize_sample(resp.payload);
+      auto tensor = pipe.run_seeded(std::move(*payload), resp.stage, pipe.size(),
+                                    storage::augmentation_seed(42, epoch, i));
+      out.emplace(i, std::get<image::Tensor>(std::move(tensor)));
+    }
+    return out;
+  }
+};
+
+TEST_F(ShardServingTest, TensorsBitIdenticalAcrossDepthsAndWorkers) {
+  Fixture f;
+  const auto plan = f.mixed_plan();
+  const auto mat = f.materialize_offloaded(plan, /*stage=*/1);
+  ASSERT_TRUE(
+      shard::pack_catalog(f.catalog, 42, f.profile.quality, f.pipe, f.cm, mat, shard_path())
+          .has_value());
+  const auto reader = shard::ShardReader::open(shard_path());
+  ASSERT_TRUE(reader.has_value());
+  storage::StorageServer sharded{f.store, f.pipe, f.cm, {.seed = 42, .shard = &*reader}};
+
+  const auto reference = f.reference(plan, /*epoch=*/5);
+  for (const std::size_t depth : {0u, 4u, 64u}) {
+    for (const std::size_t workers : {1u, 4u}) {
+      sharded.reset_counters();
+      loader::DataLoader::Options options;
+      options.num_workers = workers;
+      options.queue_capacity = 8;
+      options.seed = 42;
+      options.epoch = 5;
+      options.prefetch.depth = depth;
+      loader::DataLoader loader(sharded, f.pipe, plan, f.catalog.size(), options);
+      loader.start();
+      std::size_t count = 0;
+      while (const auto item = loader.next()) {
+        EXPECT_EQ(item->tensor, reference.at(item->sample_id))
+            << "sample " << item->sample_id << " depth " << depth << " workers " << workers;
+        ++count;
+      }
+      EXPECT_EQ(count, f.catalog.size());
+      EXPECT_EQ(sharded.shard_hits(), mat.materialized);
+      EXPECT_EQ(sharded.shard_corrupt(), 0u);
+    }
+  }
+}
+
+TEST_F(ShardServingTest, StageExactHitShipsStoredFrameVerbatim) {
+  // Fully deterministic validation pipeline, cut exactly at the materialised
+  // stage: the response payload must be the stored frame, byte for byte.
+  Fixture f{pipeline::validation_pipeline()};
+  ASSERT_EQ(f.pipe.deterministic_prefix(), f.pipe.size());
+  core::OffloadPlan plan(f.catalog.size());
+  for (std::size_t i = 0; i < f.catalog.size(); ++i) plan.set(i, 2);
+  const auto mat = f.materialize_offloaded(plan, /*stage=*/2);
+  ASSERT_TRUE(
+      shard::pack_catalog(f.catalog, 42, f.profile.quality, f.pipe, f.cm, mat, shard_path())
+          .has_value());
+  const auto reader = shard::ShardReader::open(shard_path());
+  ASSERT_TRUE(reader.has_value());
+  MetricsRegistry metrics;
+  storage::StorageServer sharded{
+      f.store, f.pipe, f.cm, {.seed = 42, .metrics = &metrics, .shard = &*reader}};
+
+  for (std::size_t i = 0; i < f.catalog.size(); ++i) {
+    net::FetchRequest req;
+    req.sample_id = i;
+    req.epoch = 3;
+    req.directive.prefix_len = 2;
+    const auto live = f.plain.fetch(req);
+    const auto stored = sharded.fetch(req);
+    EXPECT_EQ(stored.payload, live.payload) << "sample " << i;
+    EXPECT_EQ(stored.stage, live.stage);
+  }
+  EXPECT_EQ(sharded.shard_hits(), f.catalog.size());
+  EXPECT_EQ(metrics.counter("sophon_shard_hit").value(), f.catalog.size());
+  // The shard absorbed the whole prefix: no live CPU was metered for it.
+  EXPECT_EQ(sharded.modeled_cpu_time().value(), 0.0);
+  EXPECT_GT(f.plain.modeled_cpu_time().value(), 0.0);
+}
+
+TEST_F(ShardServingTest, CorruptEntryFallsBackToBitIdenticalLiveExecution) {
+  Fixture f;
+  const auto plan = f.mixed_plan();
+  const auto mat = f.materialize_offloaded(plan, /*stage=*/1);
+  ASSERT_TRUE(
+      shard::pack_catalog(f.catalog, 42, f.profile.quality, f.pipe, f.cm, mat, shard_path())
+          .has_value());
+  // Flip one payload bit of the first materialised sample (id 0) on disk.
+  {
+    const auto pristine = shard::ShardReader::open(shard_path());
+    ASSERT_TRUE(pristine.has_value());
+    const auto* victim = pristine->find(0);
+    ASSERT_NE(victim, nullptr);
+    flip_byte(victim->offset + victim->length / 2);
+  }
+  const auto reader = shard::ShardReader::open(shard_path());
+  ASSERT_TRUE(reader.has_value());  // the index is intact
+  MetricsRegistry metrics;
+  storage::StorageServer sharded{
+      f.store, f.pipe, f.cm, {.seed = 42, .metrics = &metrics, .shard = &*reader}};
+
+  const auto reference = f.reference(plan, /*epoch=*/5);
+  for (std::size_t i = 0; i < f.catalog.size(); ++i) {
+    net::FetchRequest req;
+    req.sample_id = i;
+    req.epoch = 5;
+    req.directive.prefix_len = plan.prefix(i);
+    const auto resp = sharded.fetch(req);
+    auto payload = net::deserialize_sample(resp.payload);
+    ASSERT_TRUE(payload.has_value()) << "sample " << i;
+    auto tensor = f.pipe.run_seeded(std::move(*payload), resp.stage, f.pipe.size(),
+                                    storage::augmentation_seed(42, 5, i));
+    EXPECT_EQ(std::get<image::Tensor>(tensor), reference.at(i)) << "sample " << i;
+  }
+  EXPECT_EQ(sharded.shard_corrupt(), 1u);
+  EXPECT_EQ(sharded.shard_hits(), mat.materialized - 1);
+  EXPECT_EQ(metrics.counter("sophon_shard_corrupt").value(), 1u);
+  // The corrupt sample's prefix ran live, so its CPU was metered.
+  EXPECT_GT(sharded.modeled_cpu_time().value(), 0.0);
+}
+
+TEST_F(ShardServingTest, UnmaterializedOffloadedFetchCountsAsMiss) {
+  Fixture f;
+  const auto plan = f.mixed_plan();
+  // Shard holds only sample 0.
+  shard::MaterializationPlan mat;
+  mat.stage.assign(f.catalog.size(), 0);
+  mat.stage[0] = 1;
+  mat.materialized = 1;
+  ASSERT_TRUE(
+      shard::pack_catalog(f.catalog, 42, f.profile.quality, f.pipe, f.cm, mat, shard_path())
+          .has_value());
+  const auto reader = shard::ShardReader::open(shard_path());
+  ASSERT_TRUE(reader.has_value());
+  MetricsRegistry metrics;
+  storage::StorageServer sharded{
+      f.store, f.pipe, f.cm, {.seed = 42, .metrics = &metrics, .shard = &*reader}};
+
+  std::size_t offloaded = 0;
+  for (std::size_t i = 0; i < f.catalog.size(); ++i) {
+    net::FetchRequest req;
+    req.sample_id = i;
+    req.directive.prefix_len = plan.prefix(i);
+    (void)sharded.fetch(req);
+    if (plan.prefix(i) > 0) ++offloaded;
+  }
+  EXPECT_EQ(sharded.shard_hits(), 1u);
+  // Every other fetch — offloaded or not — is a miss; the three buckets
+  // partition the fetches exactly.
+  EXPECT_EQ(sharded.shard_misses(), f.catalog.size() - 1);
+  EXPECT_EQ(sharded.shard_corrupt(), 0u);
+  EXPECT_EQ(metrics.counter("sophon_shard_miss").value(), f.catalog.size() - 1);
+  EXPECT_GE(offloaded, 1u);
+}
+
+}  // namespace
+}  // namespace sophon::storage

@@ -9,6 +9,11 @@
 #   tools/check.sh --asan     AddressSanitizer build (build-asan/), same suite
 #                             restriction — heap abuse hides in the same
 #                             concurrent code TSan watches for races.
+#   tools/check.sh --ubsan    UndefinedBehaviorSanitizer build (build-ubsan/),
+#                             same restricted suite — the shard reader and
+#                             wire parsers do byte-level decoding of untrusted
+#                             input, exactly where misaligned loads and
+#                             integer overflow hide.
 #   tools/check.sh --trace-smoke
 #                             build sophonctl, run a small traced simulation
 #                             and schema-check the emitted Chrome trace JSON
@@ -35,7 +40,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # ctest switches, generic placeholders) — those live on the allowlist.
 check_docs() {
   local help flags_help flags_docs commands missing stale ok=0
-  local allowlist='^--(tsan|asan|trace-smoke|docs|build|target|test-dir|output-on-failure|key)$'
+  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|build|target|test-dir|output-on-failure|key)$'
   help=$(build/tools/sophonctl help)
 
   flags_help=$(printf '%s\n' "$help" | grep -oE '^\s*--[a-z][a-z0-9-]*' | tr -d ' ' | sort -u)
@@ -74,10 +79,11 @@ check_docs() {
 sanitized_targets=(
   loader_test loader_degradation_test loader_prefetch_test
   prefetch_staging_test prefetch_replay_test
-  net_resilience_test net_rpc_test net_link_test
+  net_resilience_test net_rpc_test net_link_test net_wire_test
   obs_concurrency_test
+  shard_format_test storage_shard_serving_test storage_disk_test
 )
-sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency'
+sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency|Wire|Crc32|Shard|DiskStore'
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSOPHON_SANITIZE=thread
@@ -87,6 +93,10 @@ elif [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-asan -S . -DSOPHON_SANITIZE=address
   cmake --build build-asan -j "$jobs" --target "${sanitized_targets[@]}"
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -R "$sanitized_regex"
+elif [[ "${1:-}" == "--ubsan" ]]; then
+  cmake -B build-ubsan -S . -DSOPHON_SANITIZE=undefined
+  cmake --build build-ubsan -j "$jobs" --target "${sanitized_targets[@]}"
+  ctest --test-dir build-ubsan --output-on-failure -j "$jobs" -R "$sanitized_regex"
 elif [[ "${1:-}" == "--trace-smoke" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target sophonctl
@@ -100,7 +110,7 @@ elif [[ "${1:-}" == "--docs" ]]; then
   cmake --build build -j "$jobs" --target sophonctl
   check_docs
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan|--asan|--trace-smoke|--docs]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs]" >&2
   exit 2
 else
   cmake -B build -S .

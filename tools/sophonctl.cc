@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,7 +44,11 @@
 #include "obs/replay_trace.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "pipeline/extra_ops.h"
 #include "prefetch/replay.h"
+#include "shard/format.h"
+#include "shard/pack.h"
+#include "shard/planner.h"
 #include "sim/trace.h"
 #include "sim/trainer.h"
 #include "dataset/calibrate.h"
@@ -114,6 +119,19 @@ dataset::DatasetProfile profile_for(const std::string& name, std::size_t samples
   if (name == "imagenet") return dataset::imagenet_profile(samples);
   std::fprintf(stderr, "unknown dataset '%s' (openimages|imagenet)\n", name.c_str());
   std::exit(2);
+}
+
+pipeline::Pipeline pipeline_for(const std::string& name) {
+  if (name == "standard") return pipeline::Pipeline::standard();
+  if (name == "validation") return pipeline::validation_pipeline();
+  std::fprintf(stderr, "unknown pipeline '%s' (standard|validation)\n", name.c_str());
+  std::exit(2);
+}
+
+/// The --shard-budget-mib convention: 0 (or omitted) means unlimited.
+Bytes shard_budget_from(const Flags& flags) {
+  const long mib = flags.integer("shard-budget-mib", 0);
+  return mib <= 0 ? Bytes(std::numeric_limits<std::int64_t>::max() / 2) : Bytes::mib(mib);
 }
 
 sim::ClusterConfig cluster_from(const Flags& flags) {
@@ -278,6 +296,42 @@ int cmd_simulate(const Flags& flags) {
   fault_profile.seed = static_cast<std::uint64_t>(flags.integer("fault-seed", seed));
   const net::FaultInjector faults{fault_profile};
 
+  // Materialization what-if: spend a disk budget on deterministic prefixes,
+  // then re-run the offload decision over the adjusted profiles (materialised
+  // samples carry near-zero t_cs, so the greedy picks them first). The flows
+  // below charge the shard-read cost instead of live prefix CPU for them.
+  std::vector<core::SampleProfile> adjusted;  // non-empty iff materialization on
+  if (const long budget_mib = flags.integer("shard-budget-mib", -1); budget_mib >= 0) {
+    if (flags.flag("adapt")) {
+      std::fprintf(stderr, "--shard-budget-mib cannot be combined with --adapt\n");
+      return 1;
+    }
+    const auto profiles = core::profile_stage2(catalog, pipe, cm);
+    const double batches = std::ceil(static_cast<double>(catalog.size()) /
+                                     static_cast<double>(cluster.batch_size));
+    const Seconds gpu_epoch = gpu.batch_time(cluster.batch_size) * batches;
+    if (flags.str("plan", "").empty()) {
+      plan = core::decide_offloading(profiles, cluster, gpu_epoch).plan;
+    }
+    const auto mat = shard::plan_materialization(profiles, plan, pipe.deterministic_prefix(),
+                                                 shard_budget_from(flags));
+    adjusted = shard::adjusted_profiles(profiles, mat);
+    const auto baseline = core::evaluate_plan(profiles, plan, cluster, gpu_epoch);
+    const auto redecided = core::decide_offloading(adjusted, cluster, gpu_epoch);
+    std::printf("materialized %zu of %zu samples (%s on disk, saves %.1f s/epoch storage CPU)\n",
+                mat.materialized, catalog.size(), human_bytes(mat.total_bytes).c_str(),
+                mat.cpu_saved.value());
+    std::printf(
+        "re-rank: offloaded %zu -> %zu | predicted epoch %.1f s -> %.1f s | "
+        "T_CS %.1f s -> %.1f s | T_Net %.1f s -> %.1f s\n",
+        plan.offloaded_count(), redecided.plan.offloaded_count(),
+        baseline.predicted_epoch_time().value(),
+        redecided.final_cost.predicted_epoch_time().value(), baseline.t_cs.value(),
+        redecided.final_cost.t_cs.value(), baseline.t_net.value(),
+        redecided.final_cost.t_net.value());
+    plan = redecided.plan;
+  }
+
   if (flags.flag("adapt")) {
     return cmd_simulate_adaptive(flags, catalog, pipe, cm, cluster,
                                  gpu.batch_time(cluster.batch_size), faults, seed);
@@ -287,7 +341,13 @@ int cmd_simulate(const Flags& flags) {
     const auto& meta = catalog.sample(idx);
     const std::size_t prefix = plan.prefix(idx);
     sim::SampleFlow f;
-    f.storage_cpu = prefix > 0 ? pipe.prefix_cost(meta.raw, prefix, cm) : Seconds(0.0);
+    if (prefix > 0) {
+      if (adjusted.empty()) {
+        f.storage_cpu = pipe.prefix_cost(meta.raw, prefix, cm);
+      } else {
+        for (std::size_t j = 0; j < prefix; ++j) f.storage_cpu += adjusted[idx].op_costs[j];
+      }
+    }
     f.wire = net::wire_size(pipe.shape_at(meta.raw, prefix));
     f.compute_cpu = pipe.suffix_cost(meta.raw, prefix, cm);
     return f;
@@ -614,6 +674,79 @@ int cmd_ingest(const Flags& flags) {
   return 0;
 }
 
+/// Plan a materialization and pack the shard file: profile the corpus, run
+/// the offload decision, greedily select deterministic prefixes by
+/// materialization efficiency under the byte budget, execute them, write
+/// the shard.
+int cmd_pack(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 512));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto out = flags.required("out");
+  auto profile = profile_for(name, samples);
+  // Packing is real materialisation (like ingest); keep images modest
+  // unless overridden.
+  profile.max_pixels = flags.number("max-pixels", 1.5e6);
+  const auto catalog = dataset::Catalog::generate(profile, seed);
+  const auto pipe = pipeline_for(flags.str("pipeline", "standard"));
+  const pipeline::CostModel cm;
+  const auto profiles = core::profile_stage2(catalog, pipe, cm);
+  const auto cluster = cluster_from(flags);
+  const Seconds t_g(flags.number("tg-seconds", 14.0));
+  const auto decision = core::decide_offloading(profiles, cluster, t_g);
+  const auto budget = shard_budget_from(flags);
+  const auto plan = shard::plan_materialization(profiles, decision.plan,
+                                                pipe.deterministic_prefix(), budget);
+  const auto stats = shard::pack_catalog(catalog, seed, profile.quality, pipe, cm, plan, out);
+  if (!stats) {
+    std::fprintf(stderr, "cannot write shard %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("packed %zu of %zu samples (deterministic prefix <= %zu of %zu ops) into %s\n",
+              stats->entries, catalog.size(), pipe.deterministic_prefix(), pipe.size(),
+              out.c_str());
+  std::printf("shard %s (payloads %s) | storage CPU saved %.2f s/epoch | "
+              "one-time pack cost %.2f s\n",
+              human_bytes(stats->file_bytes).c_str(), human_bytes(stats->payload_bytes).c_str(),
+              plan.cpu_saved.value(), stats->modeled_cpu.value());
+  return 0;
+}
+
+/// Open a shard, re-verify every entry's crc32, and summarise the contents
+/// per materialisation stage. Non-zero exit on a malformed file or any
+/// failed checksum.
+int cmd_inspect_shard(const Flags& flags) {
+  const auto in = flags.required("in");
+  const auto reader = shard::ShardReader::open(in);
+  if (!reader) {
+    std::fprintf(stderr, "%s is not a valid shard (bad magic/version/index)\n", in.c_str());
+    return 1;
+  }
+  std::map<unsigned, std::pair<std::size_t, std::int64_t>> by_stage;  // stage -> count, bytes
+  std::size_t corrupt = 0;
+  for (const auto& entry : reader->entries()) {
+    if (!reader->read_verified(entry)) {
+      ++corrupt;
+      std::fprintf(stderr, "entry %llu: crc mismatch\n",
+                   static_cast<unsigned long long>(entry.sample_id));
+      continue;
+    }
+    auto& [count, bytes] = by_stage[entry.stage];
+    ++count;
+    bytes += static_cast<std::int64_t>(entry.length);
+  }
+  TextTable table({"stage", "entries", "payload"});
+  for (const auto& [stage, agg] : by_stage) {
+    table.add_row({strf("%u", stage), strf("%zu", agg.first), human_bytes(Bytes(agg.second))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("%zu entries, %s on disk, %zu corrupt\n", reader->size(),
+              human_bytes(reader->file_bytes()).c_str(), corrupt);
+  if (corrupt > 0) return 1;
+  std::printf("all checksums OK\n");
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // Command table: the single source of truth for dispatch, help output, and
 // flag validation. tools/check.sh --docs diffs `sophonctl help` against
@@ -689,7 +822,10 @@ const std::vector<CommandSpec>& commands() {
             {"replan-cooldown", "N", "min epochs between accepted re-plans (default 2)"},
             {"min-improvement", "X", "relative-improvement floor for a re-plan (default 0.05)"},
             {"bw-drop-factor", "X", "divide link bandwidth by this mid-run (default 1)"},
-            {"bw-drop-epoch", "N", "epoch at which the bandwidth drop hits (default 0)"}},
+            {"bw-drop-epoch", "N", "epoch at which the bandwidth drop hits (default 0)"},
+            {"shard-budget-mib", "N",
+             "materialize deterministic prefixes under this disk budget and re-rank "
+             "(0 = unlimited)"}},
            true, true),
        cmd_simulate},
       {"evaluate", "compare all offloading policies on one corpus",
@@ -704,6 +840,16 @@ const std::vector<CommandSpec>& commands() {
                     {"max-pixels", "N", "cap per-image pixel count (default 1.5e6)"}},
                    true, false),
        cmd_ingest},
+      {"pack", "plan a stage materialization and write the packed shard file",
+       with_common({{"out", "FILE", "shard file to write (required)"},
+                    {"pipeline", "NAME", "standard | validation (default standard)"},
+                    {"shard-budget-mib", "N", "disk budget for the shard (0 = unlimited)"},
+                    {"tg-seconds", "X", "T_G, the GPU epoch time in seconds (default 14)"},
+                    {"max-pixels", "N", "cap per-image pixel count (default 1.5e6)"}},
+                   true, true),
+       cmd_pack},
+      {"inspect-shard", "verify a packed shard's checksums and summarise its contents",
+       {{"in", "FILE", "shard file to inspect (required)"}}, cmd_inspect_shard},
       {"trace", "simulate one epoch and export per-sample timeline records",
        with_common({{"plan", "FILE", "offload plan from decide (default: no offloading)"},
                     {"out", "FILE", "write timeline JSON"}},
@@ -777,8 +923,8 @@ bool validate_flags(const CommandSpec& spec, const Flags& flags) {
 void usage() {
   std::fprintf(stderr,
                "usage: sophonctl <command> [flags]\n"
-               "commands: gen-profiles | decide | simulate | evaluate | ingest | calibrate | "
-               "trace | validate-trace | help\n");
+               "commands: gen-profiles | decide | simulate | evaluate | ingest | pack | "
+               "inspect-shard | calibrate | trace | validate-trace | help\n");
 }
 
 }  // namespace
