@@ -1,15 +1,61 @@
 #include "core/adapt/loop.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "core/profiler.h"
 #include "net/wire.h"
+#include "obs/health.h"
+#include "obs/metrics_table.h"
+#include "obs/timeseries.h"
 #include "util/check.h"
 
 namespace sophon::core::adapt {
 
 namespace {
+
+/// Background wall-clock sampler: folds the registry into the flight
+/// recorder every `interval` while a (possibly long) epoch simulates.
+/// Stopping is a cv notify so run_adaptive never waits out a full period.
+class IntervalSampler {
+ public:
+  IntervalSampler(sophon::obs::FlightRecorder& recorder, Seconds interval)
+      : recorder_(recorder),
+        interval_(std::chrono::duration<double>(std::max(interval.value(), 1e-3))),
+        thread_([this] { run(); }) {}
+
+  ~IntervalSampler() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!done_) {
+      if (cv_.wait_for(lock, interval_, [this] { return done_; })) break;
+      lock.unlock();
+      recorder_.sample();
+      lock.lock();
+    }
+  }
+
+  sophon::obs::FlightRecorder& recorder_;
+  const std::chrono::duration<double> interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 // Flow for one sample under a leased plan. The lease is captured by value:
 // even if the replanner swaps plans mid-run, this epoch keeps computing
@@ -46,9 +92,23 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
   AdaptiveReplanner replanner(profile_stage2(catalog, pipeline, cost_model), planned,
                               gpu_epoch_time, options.adapt_options, options.initial_plan);
 
+  const TelemetryHooks& telemetry = options.telemetry;
+  if (telemetry.metrics != nullptr) obs::register_epoch_metrics(*telemetry.metrics);
+  std::unique_ptr<IntervalSampler> sampler;
+  if (telemetry.recorder != nullptr && telemetry.sample_interval.value() > 0.0) {
+    sampler = std::make_unique<IntervalSampler>(*telemetry.recorder, telemetry.sample_interval);
+  }
+
   RunResult result;
   result.rows.reserve(options.epochs);
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    if (telemetry.stop_signal != nullptr) {
+      const int signum = telemetry.stop_signal->load(std::memory_order_acquire);
+      if (signum != 0) {
+        result.stopped_by_signal = signum;
+        break;
+      }
+    }
     sim::ClusterConfig actual = planned;
     if (options.bandwidth_at) actual.bandwidth = options.bandwidth_at(epoch);
 
@@ -80,6 +140,35 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
       if (row.decision.outcome == ReplanOutcome::kReplanned) ++result.replans;
     }
     result.rows.push_back(row);
+
+    if (telemetry.metrics != nullptr) {
+      MetricsRegistry& metrics = *telemetry.metrics;
+      metrics.counter("sophon_epochs_completed").increment();
+      metrics.counter("sophon_epoch_traffic_bytes")
+          .increment(static_cast<std::uint64_t>(std::max<std::int64_t>(stats.traffic.count(), 0)));
+      metrics.gauge("sophon_epoch_time_seconds").set(stats.epoch_time.value());
+      metrics.gauge("sophon_epoch_gpu_utilization").set(stats.gpu_utilization);
+      const double epoch_seconds = stats.epoch_time.value();
+      const double link_seconds = actual.bandwidth.transfer_time(stats.traffic).value();
+      const double link_utilization =
+          epoch_seconds > 0.0 ? std::min(link_seconds / epoch_seconds, 1.0) : 0.0;
+      metrics.gauge("sophon_epoch_link_utilization").set(link_utilization);
+      const double stall_seconds = std::max(0.0, link_seconds - stats.gpu_busy.value());
+      metrics.gauge("sophon_epoch_fetch_stall_fraction")
+          .set(epoch_seconds > 0.0 ? std::min(stall_seconds / epoch_seconds, 1.0) : 0.0);
+      if (options.faults != nullptr) {
+        metrics.counter("sophon_fetch_retries").increment(fault_stats.retries);
+        metrics.counter("sophon_degraded_samples").increment(fault_stats.degraded);
+        metrics.counter("sophon_fetch_failures").increment(fault_stats.failed);
+      }
+      if (telemetry.health != nullptr) {
+        const obs::HealthState state =
+            telemetry.health->evaluate(metrics.snapshot(), stats.epoch_time);
+        metrics.gauge("sophon_health_state").set(static_cast<double>(state));
+      }
+    }
+    if (telemetry.recorder != nullptr) telemetry.recorder->sample();
+    if (telemetry.on_epoch) telemetry.on_epoch(row);
   }
   result.final_plan = replanner.plan();
   return result;

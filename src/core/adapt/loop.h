@@ -10,6 +10,7 @@
 // baseline every adaptive result is compared against.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -21,6 +22,11 @@
 #include "net/resilience.h"
 #include "pipeline/cost_model.h"
 #include "pipeline/pipeline.h"
+
+namespace sophon::obs {
+class FlightRecorder;
+class HealthEvaluator;
+}  // namespace sophon::obs
 
 namespace sophon::core::adapt {
 
@@ -39,6 +45,29 @@ struct EpochRow {
   ReplanDecision decision;
 };
 
+/// Live telemetry wired into the run loop. Everything is optional and
+/// observational: absent hooks cost nothing (acceptance-pinned by
+/// bench/trace_overhead), present hooks never change the simulation.
+struct TelemetryHooks {
+  /// Receives the epoch-level gauge/counter set (sophon_epoch_*,
+  /// sophon_epochs_completed, sophon_health_state) at each epoch boundary.
+  MetricsRegistry* metrics = nullptr;
+  /// Sampled at every epoch boundary, and from a background wall-clock
+  /// sampler when sample_interval > 0 (so a long epoch still produces
+  /// points a live scrape can see move).
+  obs::FlightRecorder* recorder = nullptr;
+  /// Evaluated at every epoch boundary against `metrics` (requires both);
+  /// the resulting overall state lands in the sophon_health_state gauge.
+  obs::HealthEvaluator* health = nullptr;
+  /// Called after the boundary's metrics/recorder/health updates.
+  std::function<void(const EpochRow&)> on_epoch;
+  /// Wall-clock period of the background recorder sampler; <= 0 disables.
+  Seconds sample_interval{0.0};
+  /// Deferred-signal mailbox (see obs::PostmortemGuard::stop_signal()):
+  /// a non-zero value stops the run at the next epoch boundary.
+  const std::atomic<int>* stop_signal = nullptr;
+};
+
 struct RunOptions {
   std::size_t epochs = 8;
   /// false = static baseline: keep the initial plan for the whole run.
@@ -53,12 +82,16 @@ struct RunOptions {
   const net::FaultInjector* faults = nullptr;
   net::RetryPolicy retry;
   std::uint64_t seed = 42;
+  TelemetryHooks telemetry;
 };
 
 struct RunResult {
   std::vector<EpochRow> rows;
   std::size_t replans = 0;
   std::shared_ptr<const OffloadPlan> final_plan;
+  /// Signal that stopped the run early via TelemetryHooks::stop_signal,
+  /// 0 for a run that completed all epochs.
+  int stopped_by_signal = 0;
 };
 
 /// Run `options.epochs` simulated epochs. `planned` is the cluster the

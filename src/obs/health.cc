@@ -1,0 +1,185 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sophon::obs {
+
+std::string_view health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kWarn:
+      return "warn";
+    case HealthState::kCrit:
+      return "crit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double counter_of(const MetricsSnapshot& snap, const char* name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+double gauge_of(const MetricsSnapshot& snap, const char* name) {
+  const auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? 0.0 : it->second;
+}
+
+HealthState grade(const HealthRule& rule, double value) {
+  if (value >= rule.crit) return HealthState::kCrit;
+  if (value >= rule.warn) return HealthState::kWarn;
+  return HealthState::kOk;
+}
+
+}  // namespace
+
+HealthEvaluator::HealthEvaluator(std::vector<HealthRule> rules) {
+  entries_.reserve(rules.size());
+  for (auto& rule : rules) entries_.push_back(Entry{std::move(rule), RuleStatus{}});
+}
+
+HealthState HealthEvaluator::evaluate(const MetricsSnapshot& total, Seconds interval) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const MetricsSnapshot delta = snapshot_delta(total, last_);
+  const HealthSample sample{delta, total, interval};
+  HealthState worst = HealthState::kOk;
+  for (Entry& entry : entries_) {
+    RuleStatus& status = entry.status;
+    status.value = entry.rule.value ? entry.rule.value(sample) : 0.0;
+    const HealthState graded = grade(entry.rule, status.value);
+    if (graded >= status.state) {
+      // Escalation (or holding steady) is immediate.
+      if (graded != status.state) ++status.transitions;
+      status.state = graded;
+      status.below_streak = 0;
+    } else if (++status.below_streak >= entry.rule.hold) {
+      // De-escalation waits out `hold` consecutive calmer evaluations.
+      status.state = graded;
+      status.below_streak = 0;
+      ++status.transitions;
+    }
+    worst = std::max(worst, status.state);
+  }
+  last_ = total;
+  ++evaluations_;
+  return worst;
+}
+
+HealthState HealthEvaluator::overall() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HealthState worst = HealthState::kOk;
+  for (const Entry& entry : entries_) worst = std::max(worst, entry.status.state);
+  return worst;
+}
+
+std::size_t HealthEvaluator::evaluations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+RuleStatus HealthEvaluator::status(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.rule.name == name) return entry.status;
+  }
+  return RuleStatus{};
+}
+
+Json HealthEvaluator::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HealthState worst = HealthState::kOk;
+  for (const Entry& entry : entries_) worst = std::max(worst, entry.status.state);
+
+  Json doc = Json::object();
+  doc.set("kind", "sophon.health");
+  doc.set("version", 1);
+  doc.set("overall", std::string(health_state_name(worst)));
+  doc.set("evaluations", static_cast<std::int64_t>(evaluations_));
+  Json rules = Json::array();
+  for (const Entry& entry : entries_) {
+    Json one = Json::object();
+    one.set("name", entry.rule.name);
+    one.set("state", std::string(health_state_name(entry.status.state)));
+    one.set("value", entry.status.value);
+    one.set("warn", entry.rule.warn);
+    one.set("crit", entry.rule.crit);
+    one.set("transitions", static_cast<std::int64_t>(entry.status.transitions));
+    one.set("help", entry.rule.help);
+    rules.push_back(std::move(one));
+  }
+  doc.set("rules", std::move(rules));
+  return doc;
+}
+
+std::vector<HealthRule> default_health_rules() {
+  std::vector<HealthRule> rules;
+
+  HealthRule stall;
+  stall.name = "fetch_stall_fraction";
+  stall.help = "Fraction of the last epoch spent stalled on data fetch";
+  stall.warn = 0.5;
+  stall.crit = 0.8;
+  stall.value = [](const HealthSample& s) {
+    return gauge_of(s.total, "sophon_epoch_fetch_stall_fraction");
+  };
+  rules.push_back(std::move(stall));
+
+  HealthRule corrupt;
+  corrupt.name = "shard_corrupt_rate";
+  corrupt.help = "Corrupt reads per read across shard, fetch, and disk paths";
+  corrupt.warn = 0.01;
+  corrupt.crit = 0.05;
+  corrupt.value = [](const HealthSample& s) {
+    const double reads = counter_of(s.delta, "sophon_shard_hit") +
+                         counter_of(s.delta, "sophon_shard_miss") +
+                         counter_of(s.delta, "sophon_fetch_attempts");
+    if (reads <= 0.0) return 0.0;
+    const double corrupt_reads = counter_of(s.delta, "sophon_shard_corrupt") +
+                                 counter_of(s.delta, "sophon_fetch_corrupt") +
+                                 counter_of(s.delta, "sophon_diskstore_corrupt");
+    return corrupt_reads / reads;
+  };
+  rules.push_back(std::move(corrupt));
+
+  HealthRule thrash;
+  thrash.name = "replan_thrash";
+  thrash.help = "Accepted re-plans per drift check in the interval";
+  thrash.warn = 0.5;
+  thrash.crit = 0.8;
+  thrash.value = [](const HealthSample& s) {
+    const double checks = counter_of(s.delta, "sophon_replan_checks");
+    if (checks <= 0.0) return 0.0;
+    return counter_of(s.delta, "sophon_replan_triggered") / checks;
+  };
+  rules.push_back(std::move(thrash));
+
+  HealthRule highwater;
+  highwater.name = "staging_buffer_highwater";
+  highwater.help = "Staging-buffer byte high-water mark over its budget";
+  highwater.warn = 0.9;
+  highwater.crit = 1.0;
+  highwater.value = [](const HealthSample& s) {
+    const double budget = gauge_of(s.total, "sophon_prefetch_buffer_budget_bytes");
+    if (budget <= 0.0) return 0.0;
+    return gauge_of(s.total, "sophon_prefetch_buffer_highwater_bytes") / budget;
+  };
+  rules.push_back(std::move(highwater));
+
+  HealthRule link;
+  link.name = "link_utilization";
+  link.help = "Storage link busy fraction over the last epoch";
+  link.warn = 0.9;
+  link.crit = 0.98;
+  link.value = [](const HealthSample& s) {
+    return gauge_of(s.total, "sophon_epoch_link_utilization");
+  };
+  rules.push_back(std::move(link));
+
+  return rules;
+}
+
+}  // namespace sophon::obs

@@ -1,0 +1,100 @@
+// Health/SLO evaluator: declarative rules over the live metric stream.
+//
+// A rule maps one evaluation interval's metrics (the delta since the last
+// evaluation plus the cumulative totals) to a scalar, then grades it against
+// WARN/CRIT thresholds. Escalation is immediate — a link that just
+// saturated should page now — but de-escalation requires `hold` consecutive
+// intervals below the threshold, so a flapping link does not flap the
+// status (the hysteresis twin of the replanner's cooldown).
+//
+// The default rule set covers the failure modes the rest of the system
+// already counts: fetch-stall fraction, shard corrupt rate, re-plan thrash,
+// staging-buffer high-water, and link utilization. All of them read metric
+// names from obs/metrics_table.h, so the drift test keeps rules and emitters
+// in sync.
+//
+// Thread-safe: evaluate() (run thread) and to_json()/overall() (telemetry
+// server thread) may interleave.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/telemetry.h"
+#include "util/units.h"
+
+namespace sophon::obs {
+
+enum class HealthState : std::uint8_t { kOk = 0, kWarn = 1, kCrit = 2 };
+
+[[nodiscard]] std::string_view health_state_name(HealthState state);
+
+/// What a rule's value function sees: one evaluation interval.
+struct HealthSample {
+  const MetricsSnapshot& delta;  ///< change since the previous evaluation
+  const MetricsSnapshot& total;  ///< cumulative registry state
+  Seconds interval;              ///< time the delta covers
+};
+
+struct HealthRule {
+  std::string name;
+  std::string help;
+  /// Thresholds on the rule value; >= warn grades WARN, >= crit grades CRIT.
+  double warn = 0.0;
+  double crit = 0.0;
+  /// Consecutive evaluations below a threshold before the state downgrades.
+  std::size_t hold = 2;
+  std::function<double(const HealthSample&)> value;
+};
+
+/// One rule's current standing.
+struct RuleStatus {
+  HealthState state = HealthState::kOk;
+  double value = 0.0;
+  /// Evaluations in a row that graded below the current state.
+  std::size_t below_streak = 0;
+  /// State changes since construction (a thrash indicator of its own).
+  std::uint64_t transitions = 0;
+};
+
+class HealthEvaluator {
+ public:
+  explicit HealthEvaluator(std::vector<HealthRule> rules);
+
+  /// Grade every rule against the snapshot. `interval` is the time since
+  /// the previous evaluation (an epoch's virtual seconds in simulated runs).
+  /// Returns the new overall (worst-rule) state.
+  HealthState evaluate(const MetricsSnapshot& total, Seconds interval);
+
+  [[nodiscard]] HealthState overall() const;
+  [[nodiscard]] std::size_t evaluations() const;
+  /// Status of the named rule; OK/zero for unknown names.
+  [[nodiscard]] RuleStatus status(const std::string& name) const;
+
+  /// `{"overall": "...", "evaluations": N, "rules": [{name, state, value,
+  /// warn, crit, transitions, help}, ...]}` — the /healthz document.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Entry {
+    HealthRule rule;
+    RuleStatus status;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  MetricsSnapshot last_;
+  std::size_t evaluations_ = 0;
+};
+
+/// The built-in rule set (see file comment). Thresholds are SLO-flavored
+/// defaults, not physics; operators with different pain points build their
+/// own vector<HealthRule>.
+[[nodiscard]] std::vector<HealthRule> default_health_rules();
+
+}  // namespace sophon::obs

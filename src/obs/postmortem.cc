@@ -1,0 +1,128 @@
+#include "obs/postmortem.h"
+
+#include <fstream>
+
+#include "obs/health.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace sophon::obs {
+
+namespace {
+
+Json dist_json(const MetricsSnapshot::Dist& dist) {
+  Json one = Json::object();
+  one.set("count", static_cast<std::int64_t>(dist.count));
+  one.set("sum", dist.sum);
+  return one;
+}
+
+Json snapshot_json(const MetricsSnapshot& snap) {
+  Json doc = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.set(name, static_cast<std::int64_t>(value));
+  }
+  doc.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snap.gauges) gauges.set(name, value);
+  doc.set("gauges", std::move(gauges));
+  Json durations = Json::object();
+  for (const auto& [name, dist] : snap.durations) durations.set(name, dist_json(dist));
+  doc.set("durations", std::move(durations));
+  Json histograms = Json::object();
+  for (const auto& [name, dist] : snap.histograms) histograms.set(name, dist_json(dist));
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+/// The one live guard; the C signal handler has no closure to carry state.
+std::atomic<PostmortemGuard*> g_active_guard{nullptr};
+
+}  // namespace
+
+Json postmortem_json(const PostmortemSources& sources, const std::string& reason) {
+  Json doc = Json::object();
+  doc.set("kind", "sophon.postmortem");
+  doc.set("version", 1);
+  doc.set("reason", reason);
+  if (sources.metrics != nullptr) doc.set("metrics", snapshot_json(sources.metrics->snapshot()));
+  if (sources.health != nullptr) doc.set("health", sources.health->to_json());
+  if (sources.recorder != nullptr) doc.set("timeseries", sources.recorder->to_json());
+  if (sources.tracer != nullptr) {
+    const std::vector<SpanEvent> all = sources.tracer->drain();
+    const std::size_t keep = std::min(sources.max_spans, all.size());
+    Json spans = Json::array();
+    for (std::size_t i = all.size() - keep; i < all.size(); ++i) {
+      const SpanEvent& span = all[i];
+      Json one = Json::object();
+      one.set("name", std::string(span.name));
+      one.set("cat", std::string(span_category_name(span.category)));
+      one.set("tb", span.virtual_time ? "virtual" : "steady");
+      one.set("track", static_cast<std::int64_t>(span.track));
+      one.set("begin_ns", static_cast<std::int64_t>(span.begin_ns));
+      one.set("end_ns", static_cast<std::int64_t>(span.end_ns));
+      spans.push_back(std::move(one));
+    }
+    doc.set("spans", std::move(spans));
+    doc.set("spans_dropped", static_cast<std::int64_t>(all.size() - keep));
+  }
+  return doc;
+}
+
+bool write_postmortem(const std::string& path, const PostmortemSources& sources,
+                      const std::string& reason) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << postmortem_json(sources, reason).dump(2) << '\n';
+  return static_cast<bool>(out);
+}
+
+PostmortemGuard::PostmortemGuard(std::string path, PostmortemSources sources)
+    : path_(std::move(path)), sources_(sources) {
+  PostmortemGuard* expected = nullptr;
+  if (!g_active_guard.compare_exchange_strong(expected, this)) {
+    return;  // another guard is live; this one stays inert
+  }
+  struct sigaction deferred{};
+  deferred.sa_handler = &PostmortemGuard::on_deferred_signal;
+  sigemptyset(&deferred.sa_mask);
+  ::sigaction(SIGTERM, &deferred, &previous_[0]);
+  ::sigaction(SIGINT, &deferred, &previous_[1]);
+
+  struct sigaction fatal{};
+  fatal.sa_handler = &PostmortemGuard::on_fatal_signal;
+  sigemptyset(&fatal.sa_mask);
+  fatal.sa_flags = SA_RESETHAND;  // second fault dies the default way
+  ::sigaction(SIGSEGV, &fatal, &previous_[2]);
+  ::sigaction(SIGABRT, &fatal, &previous_[3]);
+}
+
+PostmortemGuard::~PostmortemGuard() {
+  PostmortemGuard* expected = this;
+  if (!g_active_guard.compare_exchange_strong(expected, nullptr)) return;
+  ::sigaction(SIGTERM, &previous_[0], nullptr);
+  ::sigaction(SIGINT, &previous_[1], nullptr);
+  ::sigaction(SIGSEGV, &previous_[2], nullptr);
+  ::sigaction(SIGABRT, &previous_[3], nullptr);
+}
+
+bool PostmortemGuard::dump(const std::string& reason) const {
+  return write_postmortem(path_, sources_, reason);
+}
+
+void PostmortemGuard::on_deferred_signal(int signum) {
+  PostmortemGuard* guard = g_active_guard.load(std::memory_order_acquire);
+  if (guard != nullptr) guard->stop_signal_.store(signum, std::memory_order_release);
+}
+
+void PostmortemGuard::on_fatal_signal(int signum) {
+  PostmortemGuard* guard = g_active_guard.load(std::memory_order_acquire);
+  if (guard != nullptr) {
+    // Not async-signal-safe; best effort on the way down (see header).
+    guard->dump(std::string("fatal signal ") + std::to_string(signum));
+  }
+  ::raise(signum);  // SA_RESETHAND restored the default disposition
+}
+
+}  // namespace sophon::obs

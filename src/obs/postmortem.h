@@ -1,0 +1,86 @@
+// Postmortem dump: a crashed run leaves the same evidence a finished one
+// does.
+//
+// postmortem_json() folds whatever telemetry surfaces exist — the metric
+// registry's final snapshot, the flight recorder's rings, the health
+// evaluator's rule states, and the tracer's most recent spans — into one
+// JSON document; write_postmortem() lands it on disk.
+//
+// PostmortemGuard wires that to process death. Deliberate kills (SIGTERM,
+// SIGINT) are *deferred*: the handler only stores the signal number in an
+// atomic, the run loop polls stop_signal() at epoch boundaries and unwinds
+// normally, and the caller writes the dump from ordinary code — fully
+// async-signal-safe. Crashes (SIGSEGV, SIGABRT) cannot wait for a boundary,
+// so the handler writes the dump immediately, best-effort — the locks and
+// allocation it takes are not signal-safe, but the alternative is no
+// evidence at all — then restores the default disposition and re-raises so
+// the exit status still reports the crash.
+//
+// One guard may be live at a time (the handlers need a process-global).
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstddef>
+#include <string>
+
+#include "util/json.h"
+#include "util/telemetry.h"
+
+namespace sophon::obs {
+
+class FlightRecorder;
+class HealthEvaluator;
+class Tracer;
+
+/// Which surfaces feed the dump; any pointer may be null.
+struct PostmortemSources {
+  MetricsRegistry* metrics = nullptr;
+  FlightRecorder* recorder = nullptr;
+  HealthEvaluator* health = nullptr;
+  /// Drained best-effort at dump time (quiescence is not guaranteed when
+  /// crashing; see file comment).
+  Tracer* tracer = nullptr;
+  /// Most recent spans kept in the dump.
+  std::size_t max_spans = 512;
+};
+
+/// `{"kind": "sophon.postmortem", "reason": ..., "metrics": ...,
+/// "health": ..., "timeseries": ..., "spans": [...]}`.
+[[nodiscard]] Json postmortem_json(const PostmortemSources& sources, const std::string& reason);
+
+/// Write postmortem_json() to `path` (pretty-printed). Returns false on I/O
+/// failure.
+bool write_postmortem(const std::string& path, const PostmortemSources& sources,
+                      const std::string& reason);
+
+class PostmortemGuard {
+ public:
+  /// Installs handlers for SIGTERM/SIGINT (deferred) and SIGSEGV/SIGABRT
+  /// (immediate dump to `path`, then re-raise).
+  PostmortemGuard(std::string path, PostmortemSources sources);
+  /// Restores the previous handlers.
+  ~PostmortemGuard();
+  PostmortemGuard(const PostmortemGuard&) = delete;
+  PostmortemGuard& operator=(const PostmortemGuard&) = delete;
+
+  /// Last deferred signal number (SIGTERM/SIGINT), 0 if none yet. Poll this
+  /// from the run loop (RunOptions::stop_signal points here).
+  [[nodiscard]] const std::atomic<int>& stop_signal() const { return stop_signal_; }
+
+  /// Write the dump now, from normal (non-handler) context.
+  bool dump(const std::string& reason) const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static void on_deferred_signal(int signum);
+  static void on_fatal_signal(int signum);
+
+  std::string path_;
+  PostmortemSources sources_;
+  std::atomic<int> stop_signal_{0};
+  struct sigaction previous_[4] = {};
+};
+
+}  // namespace sophon::obs

@@ -1,0 +1,167 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/health.h"
+#include "obs/timeseries.h"
+
+namespace sophon::obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 200;
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(MetricsRegistry& registry, FlightRecorder* recorder,
+                                 HealthEvaluator* health, TelemetryServerOptions options)
+    : registry_(registry), recorder_(recorder), health_(health), options_(options) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    error_ = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout (re-check running_) or transient error
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::handle_connection(int client_fd) {
+  // A scrape request is tiny; read until the header terminator, a short
+  // poll timeout, or the size cap — whichever first.
+  std::string raw;
+  while (raw.size() < kMaxRequestBytes && raw.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{};
+    pfd.fd = client_fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, kPollIntervalMs) <= 0) break;
+    char buffer[1024];
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  std::string path = "/";
+  std::istringstream line(raw.substr(0, raw.find("\r\n")));
+  std::string method;
+  line >> method >> path;
+
+  const Response response = request(path);
+  std::ostringstream out;
+  out << "HTTP/1.0 " << response.status << ' ' << status_text(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  const std::string wire = out.str();
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(client_fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TelemetryServer::Response TelemetryServer::request(const std::string& path) const {
+  Response response;
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry_.expose();
+    return response;
+  }
+  if (path == "/healthz" && health_ != nullptr) {
+    response.content_type = "application/json";
+    response.body = health_->to_json().dump(2);
+    response.body.push_back('\n');
+    if (health_->overall() == HealthState::kCrit) response.status = 503;
+    return response;
+  }
+  if (path == "/timeseries" && recorder_ != nullptr) {
+    response.content_type = "application/json";
+    response.body = recorder_->to_json().dump(2);
+    response.body.push_back('\n');
+    return response;
+  }
+  response.status = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = "not found: " + path + "\n";
+  return response;
+}
+
+}  // namespace sophon::obs

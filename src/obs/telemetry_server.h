@@ -1,0 +1,89 @@
+// Embedded telemetry endpoint: the smallest HTTP server that can serve a
+// Prometheus scrape.
+//
+// One listener thread, one connection at a time, HTTP/1.0 with
+// `Connection: close` — a scrape is a single short-lived GET, and an
+// in-process observability port must never compete with the run for
+// resources or correctness risk. Three routes:
+//
+//   /metrics     the registry's Prometheus text exposition (the same
+//                golden-locked format tests pin)
+//   /healthz     the HealthEvaluator's JSON document; HTTP 503 while the
+//                overall state is CRIT so off-the-shelf probes work
+//   /timeseries  the FlightRecorder's JSON ring dump
+//
+// Binds 127.0.0.1 only. `port = 0` asks the kernel for an ephemeral port
+// (tests); port() reports the bound one. request() answers a path without a
+// socket, so route behavior is unit-testable and the live server is only
+// exercised end-to-end where a test really wants the wire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "util/telemetry.h"
+
+namespace sophon::obs {
+
+class FlightRecorder;
+class HealthEvaluator;
+
+struct TelemetryServerOptions {
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
+};
+
+class TelemetryServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  /// `recorder` and `health` are optional; when set they must outlive the
+  /// server. Routes for absent components return 404.
+  TelemetryServer(MetricsRegistry& registry, FlightRecorder* recorder, HealthEvaluator* health,
+                  TelemetryServerOptions options = {});
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind, listen, and spawn the listener thread. Returns false (with
+  /// error() set) when the port cannot be bound; the run proceeds without
+  /// telemetry rather than dying.
+  bool start();
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound port; 0 before a successful start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Answer `path` exactly as the wire would (status/route logic, fresh
+  /// body). Safe from any thread.
+  [[nodiscard]] Response request(const std::string& path) const;
+
+  /// Total requests answered over the socket (scrape liveness for tests).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+  void handle_connection(int client_fd);
+
+  MetricsRegistry& registry_;
+  FlightRecorder* recorder_;
+  HealthEvaluator* health_;
+  TelemetryServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace sophon::obs

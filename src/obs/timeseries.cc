@@ -1,0 +1,178 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sophon::obs {
+
+std::string_view series_kind_name(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounterDelta:
+      return "counter_delta";
+    case SeriesKind::kGauge:
+      return "gauge";
+    case SeriesKind::kSeconds:
+      return "seconds";
+  }
+  return "unknown";
+}
+
+std::vector<SeriesPoint> FlightRecorder::Ring::ordered() const {
+  const std::uint64_t capacity = slots.size();
+  const std::uint64_t keep = std::min(head, capacity);
+  std::vector<SeriesPoint> out;
+  out.reserve(keep);
+  for (std::uint64_t i = head - keep; i < head; ++i) out.push_back(slots[i % capacity]);
+  return out;
+}
+
+FlightRecorder::FlightRecorder(MetricsRegistry& registry, TimeSeriesOptions options)
+    : options_([options] {
+        TimeSeriesOptions o = options;
+        o.raw_capacity = std::max<std::size_t>(o.raw_capacity, 2);
+        o.tail_capacity = std::max<std::size_t>(o.tail_capacity, 2);
+        o.downsample = std::max<std::size_t>(o.downsample, 2);
+        return o;
+      }()),
+      registry_(registry),
+      start_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::record_locked(const std::string& name, SeriesKind kind, double t,
+                                   double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    if (series_.size() >= options_.max_series) {
+      ++dropped_series_;
+      return;
+    }
+    Series fresh;
+    fresh.kind = kind;
+    fresh.recent.slots.resize(options_.raw_capacity);
+    fresh.tail.slots.resize(options_.tail_capacity);
+    it = series_.emplace(name, std::move(fresh)).first;
+  }
+  Series& series = it->second;
+
+  // A raw point about to be overwritten folds into the tail first, so the
+  // long tail always continues where the recent window stops covering.
+  if (series.recent.head >= series.recent.slots.size()) {
+    const SeriesPoint& oldest = series.recent.slots[series.recent.head % series.recent.slots.size()];
+    if (series.fold_count == 0) series.fold_t = oldest.t;
+    series.fold_value += oldest.value;
+    ++series.fold_count;
+    if (series.fold_count >= options_.downsample) {
+      SeriesPoint folded;
+      folded.t = series.fold_t;
+      folded.value = series.kind == SeriesKind::kGauge
+                         ? series.fold_value / static_cast<double>(series.fold_count)
+                         : series.fold_value;
+      series.tail.push(folded);
+      series.fold_value = 0.0;
+      series.fold_count = 0;
+    }
+  }
+  series.recent.push(SeriesPoint{t, value});
+}
+
+void FlightRecorder::sample_at(double t) {
+  const MetricsSnapshot now = registry_.snapshot();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const MetricsSnapshot delta = snapshot_delta(now, last_);
+  for (const auto& [name, value] : delta.counters) {
+    record_locked(name, SeriesKind::kCounterDelta, t, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    record_locked(name, SeriesKind::kGauge, t, value);
+  }
+  for (const auto& [name, dist] : delta.durations) {
+    record_locked(name, SeriesKind::kSeconds, t, dist.sum);
+  }
+  for (const auto& [name, dist] : delta.histograms) {
+    record_locked(name, SeriesKind::kSeconds, t, dist.sum);
+  }
+  last_ = now;
+  ++sample_count_;
+}
+
+void FlightRecorder::sample() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  sample_at(std::chrono::duration<double>(elapsed).count());
+}
+
+std::size_t FlightRecorder::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sample_count_;
+}
+
+std::vector<std::string> FlightRecorder::series_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, series] : series_) names.push_back(name);
+  return names;
+}
+
+SeriesKind FlightRecorder::kind(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? SeriesKind::kGauge : it->second.kind;
+}
+
+std::vector<SeriesPoint> FlightRecorder::recent(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? std::vector<SeriesPoint>{} : it->second.recent.ordered();
+}
+
+std::vector<SeriesPoint> FlightRecorder::tail(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it == series_.end() ? std::vector<SeriesPoint>{} : it->second.tail.ordered();
+}
+
+std::uint64_t FlightRecorder::dropped_series() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_series_;
+}
+
+MetricsSnapshot FlightRecorder::last_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_;
+}
+
+namespace {
+
+Json points_json(const std::vector<SeriesPoint>& points) {
+  Json array = Json::array();
+  for (const auto& point : points) {
+    Json pair = Json::array();
+    pair.push_back(point.t);
+    pair.push_back(point.value);
+    array.push_back(std::move(pair));
+  }
+  return array;
+}
+
+}  // namespace
+
+Json FlightRecorder::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json doc = Json::object();
+  doc.set("kind", "sophon.timeseries");
+  doc.set("version", 1);
+  doc.set("samples", static_cast<std::int64_t>(sample_count_));
+  doc.set("dropped_series", static_cast<std::int64_t>(dropped_series_));
+  Json series = Json::array();
+  for (const auto& [name, entry] : series_) {
+    Json one = Json::object();
+    one.set("name", name);
+    one.set("series_kind", std::string(series_kind_name(entry.kind)));
+    one.set("recent", points_json(entry.recent.ordered()));
+    one.set("tail", points_json(entry.tail.ordered()));
+    series.push_back(std::move(one));
+  }
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+}  // namespace sophon::obs

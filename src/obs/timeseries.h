@@ -1,0 +1,125 @@
+// Time-series flight recorder: a fixed-memory ring of metric samples.
+//
+// Post-hoc surfaces (Chrome traces, EpochReport) only become readable after
+// the run ends; the flight recorder is the *during* surface. It periodically
+// folds MetricsRegistry::snapshot_delta() into one small series per metric —
+// a raw ring of the most recent samples plus a downsampled long tail — so a
+// live scrape (/timeseries), the `sophonctl monitor` view, and the
+// postmortem dump can all show how the run got to where it is without the
+// recorder's memory growing with run length.
+//
+// Per sample, a counter series records the interval delta (events since the
+// previous sample), a gauge series the instantaneous reading, and a
+// duration/histogram series the interval's accumulated seconds. When a raw
+// window fills, its oldest points are folded into the tail (summed for
+// counters and distributions, averaged for gauges) at `downsample` points
+// per tail point; when the tail fills too, the oldest history falls off —
+// bounded memory is the contract, the recent past is the priority.
+//
+// Thread-safe: the sampler (epoch boundary or interval thread) and readers
+// (telemetry server, postmortem) may interleave freely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/telemetry.h"
+#include "util/units.h"
+
+namespace sophon::obs {
+
+struct TimeSeriesOptions {
+  /// Points kept at full sampling resolution, per metric.
+  std::size_t raw_capacity = 240;
+  /// Downsampled points kept beyond the raw window, per metric.
+  std::size_t tail_capacity = 120;
+  /// Raw points folded into one tail point.
+  std::size_t downsample = 8;
+  /// Hard cap on distinct series; metrics past it are counted, not stored.
+  std::size_t max_series = 256;
+};
+
+/// One sample of one series: value at (relative) time `t` seconds.
+struct SeriesPoint {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+/// How a series folds when downsampled (and how to read its values).
+enum class SeriesKind : std::uint8_t {
+  kCounterDelta,  ///< events in the interval; tail points sum
+  kGauge,         ///< instantaneous reading; tail points average
+  kSeconds,       ///< duration/histogram seconds accrued; tail points sum
+};
+
+[[nodiscard]] std::string_view series_kind_name(SeriesKind kind);
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(MetricsRegistry& registry, TimeSeriesOptions options = {});
+
+  /// Fold the registry's current snapshot into every series at explicit
+  /// relative time `t` (seconds). Deterministic entry point for tests and
+  /// for virtual-time sampling.
+  void sample_at(double t);
+
+  /// sample_at() with `t` = wall-clock seconds since construction.
+  void sample();
+
+  [[nodiscard]] std::size_t samples() const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] SeriesKind kind(const std::string& name) const;
+  /// Raw recent window, oldest first. Empty for unknown series.
+  [[nodiscard]] std::vector<SeriesPoint> recent(const std::string& name) const;
+  /// Downsampled long tail, oldest first.
+  [[nodiscard]] std::vector<SeriesPoint> tail(const std::string& name) const;
+  /// Series the max_series cap refused to create.
+  [[nodiscard]] std::uint64_t dropped_series() const;
+
+  /// The registry snapshot the last sample was taken against (cumulative
+  /// values; what the next delta will subtract).
+  [[nodiscard]] MetricsSnapshot last_snapshot() const;
+
+  /// `{"samples": N, "series": [{name, kind, recent: [[t,v],...],
+  /// tail: [[t,v],...]}, ...]}` — the /timeseries document.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Ring {
+    std::vector<SeriesPoint> slots;
+    std::uint64_t head = 0;  // points ever pushed
+
+    void push(const SeriesPoint& point) {
+      slots[head % slots.size()] = point;
+      ++head;
+    }
+    [[nodiscard]] std::vector<SeriesPoint> ordered() const;
+  };
+
+  struct Series {
+    SeriesKind kind = SeriesKind::kGauge;
+    Ring recent;
+    Ring tail;
+    // Tail accumulation in progress: raw points folded so far.
+    double fold_value = 0.0;
+    double fold_t = 0.0;
+    std::size_t fold_count = 0;
+  };
+
+  void record_locked(const std::string& name, SeriesKind kind, double t, double value);
+
+  const TimeSeriesOptions options_;
+  MetricsRegistry& registry_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+  MetricsSnapshot last_;
+  std::size_t sample_count_ = 0;
+  std::uint64_t dropped_series_ = 0;
+  const std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sophon::obs

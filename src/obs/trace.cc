@@ -120,6 +120,7 @@ void Tracer::record(SpanCategory category, std::string_view name, std::uint64_t 
   SpanEvent& slot = buffer.slots[head % buffer.slots.size()];
   copy_name(slot.name, name);
   slot.category = category;
+  slot.virtual_time = false;
   slot.track = buffer.track;
   slot.begin_ns = begin_ns;
   slot.end_ns = end_ns;
@@ -135,6 +136,7 @@ void Tracer::record_at(std::uint32_t track, SpanCategory category, std::string_v
   SpanEvent& slot = buffer.slots[head % buffer.slots.size()];
   copy_name(slot.name, name);
   slot.category = category;
+  slot.virtual_time = true;
   slot.track = track;
   slot.begin_ns = static_cast<std::uint64_t>(std::max(0.0, begin.value()) * 1e9);
   slot.end_ns = static_cast<std::uint64_t>(std::max(begin.value(), end.value()) * 1e9);
@@ -227,6 +229,7 @@ Json chrome_trace_json(const std::vector<SpanEvent>& spans,
     event.set("tid", static_cast<std::int64_t>(span.track));
     event.set("ts", static_cast<double>(span.begin_ns) / 1e3);
     event.set("dur", static_cast<double>(span.end_ns - span.begin_ns) / 1e3);
+    event.set("tb", span.virtual_time ? "virtual" : "steady");
     Json args = Json::object();
     if (span.args.sample >= 0) args.set("sample", span.args.sample);
     if (span.args.position >= 0) args.set("position", span.args.position);

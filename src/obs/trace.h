@@ -71,6 +71,10 @@ struct SpanEvent {
 
   char name[kNameCapacity] = {};
   SpanCategory category = SpanCategory::kOther;
+  /// True when timestamps are virtual simulation time (record_at); false for
+  /// steady-clock nanoseconds (record/Span). Exported as the per-event "tb"
+  /// field so validate-trace can enforce the one-base-per-file invariant.
+  bool virtual_time = false;
   std::uint32_t track = 0;       ///< thread lane or registered virtual track
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;

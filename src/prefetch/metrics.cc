@@ -9,6 +9,8 @@ void register_prefetch_metrics(MetricsRegistry& registry) {
   }
   (void)registry.gauge(kBufferDepth);
   (void)registry.gauge(kBufferBytes);
+  (void)registry.gauge(kBufferBudgetBytes);
+  (void)registry.gauge(kBufferHighwaterBytes);
   (void)registry.histogram(kLeadSeconds);
 }
 

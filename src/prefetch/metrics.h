@@ -24,6 +24,8 @@ inline constexpr const char* kSkippedConsumed = "sophon_prefetch_skipped_consume
 // Gauges.
 inline constexpr const char* kBufferDepth = "sophon_prefetch_buffer_depth";
 inline constexpr const char* kBufferBytes = "sophon_prefetch_buffer_bytes";
+inline constexpr const char* kBufferBudgetBytes = "sophon_prefetch_buffer_budget_bytes";
+inline constexpr const char* kBufferHighwaterBytes = "sophon_prefetch_buffer_highwater_bytes";
 
 // Histograms.
 inline constexpr const char* kLeadSeconds = "sophon_prefetch_lead_seconds";

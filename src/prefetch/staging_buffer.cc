@@ -8,7 +8,11 @@
 namespace sophon::prefetch {
 
 StagingBuffer::StagingBuffer(const PrefetchOptions& options, MetricsRegistry* metrics)
-    : options_(options), metrics_(metrics) {}
+    : options_(options), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    metrics_->gauge(kBufferBudgetBytes).set(static_cast<double>(options_.bytes_budget.count()));
+  }
+}
 
 bool StagingBuffer::has_credit(Bytes estimated_bytes) const {
   if (occupied_ >= options_.depth) return false;
@@ -29,6 +33,7 @@ void StagingBuffer::update_gauges_locked() {
   if (metrics_ == nullptr) return;
   metrics_->gauge(kBufferDepth).set(static_cast<double>(occupied_));
   metrics_->gauge(kBufferBytes).set(static_cast<double>(occupied_bytes_.count()));
+  metrics_->gauge(kBufferHighwaterBytes).set_max(static_cast<double>(occupied_bytes_.count()));
 }
 
 StagingBuffer::Reserve StagingBuffer::reserve(std::size_t position, Bytes estimated_bytes,

@@ -1,0 +1,218 @@
+// Health evaluator semantics: immediate escalation, hold-gated
+// de-escalation, default-rule arithmetic over crafted snapshots — and the
+// acceptance arc: a static run whose link degrades then recovers walks the
+// overall state OK -> WARN -> CRIT -> (hold) -> OK.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/adapt/loop.h"
+#include "obs/health.h"
+
+namespace sophon::obs {
+namespace {
+
+HealthRule gauge_rule(const char* metric, double warn, double crit, std::size_t hold = 2) {
+  HealthRule rule;
+  rule.name = "test_rule";
+  rule.help = "test";
+  rule.warn = warn;
+  rule.crit = crit;
+  rule.hold = hold;
+  rule.value = [metric](const HealthSample& s) {
+    const auto it = s.total.gauges.find(metric);
+    return it == s.total.gauges.end() ? 0.0 : it->second;
+  };
+  return rule;
+}
+
+TEST(HealthEvaluator, EscalatesImmediatelyDeescalatesAfterHold) {
+  MetricsRegistry metrics;
+  HealthEvaluator health({gauge_rule("sophon_test_level", 0.5, 0.8, /*hold=*/2)});
+  auto eval_at = [&](double level) {
+    metrics.gauge("sophon_test_level").set(level);
+    return health.evaluate(metrics.snapshot(), Seconds(1.0));
+  };
+
+  EXPECT_EQ(eval_at(0.1), HealthState::kOk);
+  EXPECT_EQ(eval_at(0.6), HealthState::kWarn);  // escalation is immediate
+  EXPECT_EQ(eval_at(0.9), HealthState::kCrit);
+  // One calm interval is not enough to de-escalate...
+  EXPECT_EQ(eval_at(0.1), HealthState::kCrit);
+  // ...the second is, and the state drops straight to the graded level.
+  EXPECT_EQ(eval_at(0.1), HealthState::kOk);
+
+  const RuleStatus status = health.status("test_rule");
+  EXPECT_EQ(status.state, HealthState::kOk);
+  // ok->warn, warn->crit, crit->ok.
+  EXPECT_EQ(status.transitions, 3u);
+  EXPECT_EQ(health.evaluations(), 5u);
+  EXPECT_EQ(health.overall(), HealthState::kOk);
+}
+
+TEST(HealthEvaluator, FlappingInputHoldsTheElevatedState) {
+  MetricsRegistry metrics;
+  HealthEvaluator health({gauge_rule("sophon_test_level", 0.5, 2.0, /*hold=*/2)});
+  auto eval_at = [&](double level) {
+    metrics.gauge("sophon_test_level").set(level);
+    return health.evaluate(metrics.snapshot(), Seconds(1.0));
+  };
+  EXPECT_EQ(eval_at(0.6), HealthState::kWarn);
+  // Alternating calm/hot never accumulates `hold` calm intervals in a row.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(eval_at(0.1), HealthState::kWarn) << "flap " << i;
+    EXPECT_EQ(eval_at(0.6), HealthState::kWarn) << "flap " << i;
+  }
+  EXPECT_EQ(health.status("test_rule").transitions, 1u);
+}
+
+TEST(HealthRules, ShardCorruptRateIsDeltaBased) {
+  MetricsRegistry metrics;
+  HealthEvaluator health(default_health_rules());
+
+  metrics.counter("sophon_shard_hit").increment(90);
+  metrics.counter("sophon_fetch_attempts").increment(10);
+  metrics.counter("sophon_shard_corrupt").increment(10);
+  EXPECT_EQ(health.evaluate(metrics.snapshot(), Seconds(1.0)), HealthState::kCrit);
+  EXPECT_DOUBLE_EQ(health.status("shard_corrupt_rate").value, 0.1);
+
+  // The next interval is clean: the rate is computed on the delta, so the
+  // historical corruption does not pin the rule forever.
+  metrics.counter("sophon_shard_hit").increment(100);
+  EXPECT_EQ(health.evaluate(metrics.snapshot(), Seconds(1.0)), HealthState::kCrit)
+      << "hold keeps CRIT for one calm interval";
+  EXPECT_DOUBLE_EQ(health.status("shard_corrupt_rate").value, 0.0);
+  metrics.counter("sophon_shard_hit").increment(100);
+  EXPECT_EQ(health.evaluate(metrics.snapshot(), Seconds(1.0)), HealthState::kOk);
+}
+
+TEST(HealthRules, StagingHighwaterReadsBudgetAndZeroIsHealthy) {
+  MetricsRegistry metrics;
+  HealthEvaluator health(default_health_rules());
+  // No budget gauge at all: the rule reports 0 rather than dividing by zero.
+  EXPECT_EQ(health.evaluate(metrics.snapshot(), Seconds(1.0)), HealthState::kOk);
+
+  metrics.gauge("sophon_prefetch_buffer_budget_bytes").set(1000.0);
+  metrics.gauge("sophon_prefetch_buffer_highwater_bytes").set(950.0);
+  EXPECT_EQ(health.evaluate(metrics.snapshot(), Seconds(1.0)), HealthState::kWarn);
+  EXPECT_DOUBLE_EQ(health.status("staging_buffer_highwater").value, 0.95);
+  metrics.gauge("sophon_prefetch_buffer_highwater_bytes").set(1000.0);
+  EXPECT_EQ(health.evaluate(metrics.snapshot(), Seconds(1.0)), HealthState::kCrit);
+}
+
+TEST(HealthEvaluator, ToJsonCarriesRuleStates) {
+  MetricsRegistry metrics;
+  HealthEvaluator health(default_health_rules());
+  metrics.gauge("sophon_epoch_fetch_stall_fraction").set(0.95);
+  health.evaluate(metrics.snapshot(), Seconds(1.0));
+
+  const Json doc = health.to_json();
+  EXPECT_EQ(doc.at("kind").as_string(), "sophon.health");
+  EXPECT_EQ(doc.at("overall").as_string(), "crit");
+  EXPECT_EQ(doc.at("evaluations").as_int(), 1);
+  bool found = false;
+  for (std::size_t i = 0; i < doc.at("rules").size(); ++i) {
+    const Json& rule = doc.at("rules").at(i);
+    if (rule.at("name").as_string() != "fetch_stall_fraction") continue;
+    found = true;
+    EXPECT_EQ(rule.at("state").as_string(), "crit");
+    EXPECT_DOUBLE_EQ(rule.at("value").as_number(), 0.95);
+    EXPECT_DOUBLE_EQ(rule.at("warn").as_number(), 0.5);
+    EXPECT_DOUBLE_EQ(rule.at("crit").as_number(), 0.8);
+  }
+  EXPECT_TRUE(found);
+}
+
+// The acceptance pin: a run whose link drops mildly, then severely, then
+// recovers must walk the stall-fraction rule OK -> WARN -> CRIT and, after
+// `hold` calm epochs, back to OK. Static plan (adapt off) so the stall
+// tracks the injected bandwidth and nothing else.
+TEST(HealthArc, WarnCritOkAcrossBandwidthDropAndRecovery) {
+  const auto catalog = dataset::Catalog::generate(dataset::openimages_profile(600), 42);
+  const auto pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  sim::ClusterConfig planned;
+  planned.bandwidth = Bandwidth::mbps(8000.0);
+
+  std::vector<HealthRule> rules = default_health_rules();
+  std::erase_if(rules, [](const HealthRule& r) { return r.name != "fetch_stall_fraction"; });
+  ASSERT_EQ(rules.size(), 1u);
+
+  MetricsRegistry metrics;
+  HealthEvaluator health(std::move(rules));
+  core::adapt::RunOptions options;
+  options.epochs = 10;
+  options.adapt = false;
+  options.bandwidth_at = [](std::size_t epoch) {
+    if (epoch >= 6) return Bandwidth::mbps(8000.0);  // recovery
+    if (epoch >= 4) return Bandwidth::mbps(20.0);    // severe drop
+    if (epoch >= 2) return Bandwidth::mbps(150.0);   // mild drop
+    return Bandwidth::mbps(8000.0);                  // healthy
+  };
+  options.telemetry.metrics = &metrics;
+  options.telemetry.health = &health;
+  std::vector<HealthState> states;
+  std::vector<double> stalls;
+  options.telemetry.on_epoch = [&](const core::adapt::EpochRow&) {
+    const auto snap = metrics.snapshot();
+    states.push_back(static_cast<HealthState>(snap.gauges.at("sophon_health_state")));
+    stalls.push_back(snap.gauges.at("sophon_epoch_fetch_stall_fraction"));
+  };
+
+  const auto result =
+      core::adapt::run_adaptive(catalog, pipe, cm, planned, Seconds(1.0), options);
+  ASSERT_EQ(result.rows.size(), 10u);
+  ASSERT_EQ(states.size(), 10u);
+
+  std::string trace;
+  for (std::size_t e = 0; e < states.size(); ++e) {
+    trace += "epoch " + std::to_string(e) + ": stall " + std::to_string(stalls[e]) + " -> " +
+             std::string(health_state_name(states[e])) + "\n";
+  }
+
+  EXPECT_EQ(states[0], HealthState::kOk) << trace;
+  EXPECT_EQ(states[1], HealthState::kOk) << trace;
+  EXPECT_EQ(states[2], HealthState::kWarn) << trace;  // mild drop pages WARN...
+  EXPECT_EQ(states[3], HealthState::kWarn) << trace;
+  EXPECT_EQ(states[4], HealthState::kCrit) << trace;  // ...severe drop CRIT
+  EXPECT_EQ(states[5], HealthState::kCrit) << trace;
+  // Recovery at epoch 6: one calm epoch is within the hold window...
+  EXPECT_EQ(states[6], HealthState::kCrit) << trace;
+  // ...two calm epochs clear it.
+  EXPECT_EQ(states[7], HealthState::kOk) << trace;
+  EXPECT_EQ(states[9], HealthState::kOk) << trace;
+}
+
+// TSan target: the run thread evaluating while the server thread renders.
+TEST(HealthConcurrency, EvaluateAndReadersInterleave) {
+  MetricsRegistry metrics;
+  HealthEvaluator health(default_health_rules());
+  std::atomic<bool> stop{false};
+  std::thread evaluator([&] {
+    for (int i = 0; i < 500; ++i) {
+      metrics.gauge("sophon_epoch_fetch_stall_fraction").set((i % 10) / 10.0);
+      metrics.counter("sophon_shard_hit").increment();
+      health.evaluate(metrics.snapshot(), Seconds(1.0));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        (void)health.to_json();
+        (void)health.overall();
+        (void)health.status("fetch_stall_fraction");
+      }
+    });
+  }
+  evaluator.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(health.evaluations(), 500u);
+}
+
+}  // namespace
+}  // namespace sophon::obs

@@ -1,0 +1,214 @@
+// Postmortem dump: the document composes whatever surfaces exist, the
+// deferred-signal guard turns a SIGTERM into a clean epoch-boundary stop,
+// and — the acceptance pin — a stopped run's flight-recorder tail reconciles
+// with the epochs the run actually completed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/adapt/loop.h"
+#include "obs/health.h"
+#include "obs/postmortem.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+
+namespace sophon::obs {
+namespace {
+
+std::filesystem::path temp_json(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("sophon_pm_") + tag + "_" + std::to_string(::getpid()) + ".json");
+}
+
+TEST(Postmortem, DocumentComposesPresentSourcesOnly) {
+  MetricsRegistry metrics;
+  metrics.counter("sophon_shard_hit").increment(4);
+  FlightRecorder recorder(metrics);
+  recorder.sample_at(1.0);
+  HealthEvaluator health(default_health_rules());
+  health.evaluate(metrics.snapshot(), Seconds(1.0));
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.record(SpanCategory::kFetch, "fetch", 100, 200);
+  tracer.record_at(tracer.track("link"), SpanCategory::kTransfer, "xfer", Seconds(1.0),
+                   Seconds(2.0));
+
+  PostmortemSources sources;
+  sources.metrics = &metrics;
+  sources.recorder = &recorder;
+  sources.health = &health;
+  sources.tracer = &tracer;
+  const Json doc = postmortem_json(sources, "test reason");
+  EXPECT_EQ(doc.at("kind").as_string(), "sophon.postmortem");
+  EXPECT_EQ(doc.at("reason").as_string(), "test reason");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("sophon_shard_hit").as_int(), 4);
+  EXPECT_EQ(doc.at("health").at("kind").as_string(), "sophon.health");
+  EXPECT_EQ(doc.at("timeseries").at("samples").as_int(), 1);
+  ASSERT_EQ(doc.at("spans").size(), 2u);
+  EXPECT_EQ(doc.at("spans").at(0).at("tb").as_string(), "steady");
+  EXPECT_EQ(doc.at("spans").at(1).at("tb").as_string(), "virtual");
+  EXPECT_EQ(doc.at("spans_dropped").as_int(), 0);
+
+  const Json bare = postmortem_json(PostmortemSources{}, "nothing attached");
+  EXPECT_FALSE(bare.has("metrics"));
+  EXPECT_FALSE(bare.has("health"));
+  EXPECT_FALSE(bare.has("timeseries"));
+  EXPECT_FALSE(bare.has("spans"));
+}
+
+TEST(Postmortem, MaxSpansKeepsTheMostRecent) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(SpanCategory::kOther, ("span" + std::to_string(i)).c_str(),
+                  static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i + 1));
+  }
+  PostmortemSources sources;
+  sources.tracer = &tracer;
+  sources.max_spans = 3;
+  const Json doc = postmortem_json(sources, "truncation");
+  ASSERT_EQ(doc.at("spans").size(), 3u);
+  EXPECT_EQ(doc.at("spans").at(0).at("name").as_string(), "span7");
+  EXPECT_EQ(doc.at("spans").at(2).at("name").as_string(), "span9");
+  EXPECT_EQ(doc.at("spans_dropped").as_int(), 7);
+}
+
+TEST(Postmortem, WriteLandsParseableJsonOnDisk) {
+  MetricsRegistry metrics;
+  metrics.counter("sophon_shard_hit").increment();
+  PostmortemSources sources;
+  sources.metrics = &metrics;
+  const auto path = temp_json("write");
+  ASSERT_TRUE(write_postmortem(path.string(), sources, "disk"));
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  const auto doc = Json::parse(text.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("reason").as_string(), "disk");
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(write_postmortem("/nonexistent-dir/x.json", sources, "bad path"));
+}
+
+TEST(PostmortemGuard, DeferredSignalLandsInTheMailbox) {
+  MetricsRegistry metrics;
+  PostmortemSources sources;
+  sources.metrics = &metrics;
+  const auto path = temp_json("guard");
+  {
+    PostmortemGuard guard(path.string(), sources);
+    EXPECT_EQ(guard.stop_signal().load(), 0);
+    ASSERT_EQ(::raise(SIGTERM), 0);  // deferred: stored, not fatal
+    EXPECT_EQ(guard.stop_signal().load(), SIGTERM);
+    EXPECT_TRUE(guard.dump("deferred stop"));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  const auto doc = Json::parse(text.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("reason").as_string(), "deferred stop");
+  std::filesystem::remove(path);
+}
+
+TEST(PostmortemGuard, RestoresPreviousHandlersAndSecondGuardIsInert) {
+  struct sigaction ignore{};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  struct sigaction saved{};
+  ASSERT_EQ(::sigaction(SIGTERM, &ignore, &saved), 0);
+
+  {
+    PostmortemGuard first(temp_json("first").string(), {});
+    PostmortemGuard second(temp_json("second").string(), {});
+    ASSERT_EQ(::raise(SIGTERM), 0);
+    EXPECT_EQ(first.stop_signal().load(), SIGTERM) << "the live guard owns the handler";
+    EXPECT_EQ(second.stop_signal().load(), 0) << "a second guard must stay inert";
+  }
+
+  struct sigaction after{};
+  ASSERT_EQ(::sigaction(SIGTERM, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, SIG_IGN) << "destructor must restore the previous handler";
+  ::sigaction(SIGTERM, &saved, nullptr);
+}
+
+// The acceptance pin: stop an adaptive run mid-flight through the signal
+// mailbox and check the dump's flight-recorder series reconcile with the
+// epoch rows the run reports — same epoch count, same final epoch time.
+TEST(Postmortem, FlightRecorderTailReconcilesWithAStoppedRun) {
+  const auto catalog = dataset::Catalog::generate(dataset::openimages_profile(300), 42);
+  const auto pipe = pipeline::Pipeline::standard();
+  pipeline::CostModel cm;
+  sim::ClusterConfig planned;
+  planned.bandwidth = Bandwidth::mbps(8000.0);
+
+  MetricsRegistry metrics;
+  FlightRecorder recorder(metrics);
+  HealthEvaluator health(default_health_rules());
+  std::atomic<int> stop{0};
+
+  core::adapt::RunOptions options;
+  options.epochs = 100;
+  options.telemetry.metrics = &metrics;
+  options.telemetry.recorder = &recorder;
+  options.telemetry.health = &health;
+  options.telemetry.stop_signal = &stop;
+  options.telemetry.on_epoch = [&](const core::adapt::EpochRow& row) {
+    if (row.epoch == 4) stop.store(SIGTERM);  // "kill" lands mid-epoch 4
+  };
+  const auto result =
+      core::adapt::run_adaptive(catalog, pipe, cm, planned, Seconds(1.0), options);
+  EXPECT_EQ(result.stopped_by_signal, SIGTERM);
+  ASSERT_EQ(result.rows.size(), 5u) << "stops at the next epoch boundary";
+
+  PostmortemSources sources;
+  sources.metrics = &metrics;
+  sources.recorder = &recorder;
+  sources.health = &health;
+  const auto path = temp_json("reconcile");
+  ASSERT_TRUE(write_postmortem(path.string(), sources, "signal 15"));
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  const auto parsed = Json::parse(text.str());
+  ASSERT_TRUE(parsed.has_value());
+  std::filesystem::remove(path);
+  const Json& doc = *parsed;
+
+  // Counter series: the epochs-completed deltas across recent + tail must
+  // sum to exactly the rows the run returned.
+  double completed = 0.0;
+  bool found = false;
+  const Json& series = doc.at("timeseries").at("series");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Json& one = series.at(i);
+    if (one.at("name").as_string() != "sophon_epochs_completed") continue;
+    found = true;
+    for (const char* window : {"recent", "tail"}) {
+      const Json& points = one.at(window);
+      for (std::size_t j = 0; j < points.size(); ++j) {
+        completed += points.at(j).at(1).as_number();
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_DOUBLE_EQ(completed, 5.0);
+
+  // Cumulative metrics in the dump agree with the recorder's epoch count...
+  EXPECT_EQ(doc.at("metrics").at("counters").at("sophon_epochs_completed").as_int(), 5);
+  // ...and the last recorded epoch-time gauge is the final row's.
+  const auto time_points = recorder.recent("sophon_epoch_time_seconds");
+  ASSERT_FALSE(time_points.empty());
+  EXPECT_DOUBLE_EQ(time_points.back().value, result.rows.back().epoch_time.value());
+}
+
+}  // namespace
+}  // namespace sophon::obs

@@ -1,0 +1,180 @@
+// Telemetry endpoint: route behavior via the socketless request() surface,
+// plus one end-to-end scrape over a real loopback socket — the ephemeral
+// port, HTTP framing, and concurrent-scrape paths a live monitor exercises.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/metrics_table.h"
+#include "obs/telemetry_server.h"
+#include "obs/timeseries.h"
+#include "util/json.h"
+
+namespace sophon::obs {
+namespace {
+
+/// Minimal scrape client: GET `path`, return the raw response text.
+std::optional<std::string> http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) response.append(buffer, n);
+  ::close(fd);
+  return response;
+}
+
+struct Plane {
+  MetricsRegistry metrics;
+  FlightRecorder recorder{metrics};
+  HealthEvaluator health{default_health_rules()};
+  TelemetryServer server{metrics, &recorder, &health, {}};
+};
+
+TEST(TelemetryServer, MetricsRouteServesTheExposition) {
+  Plane p;
+  register_known_metrics(p.metrics);
+  p.metrics.counter("sophon_shard_hit").increment(3);
+
+  const auto response = p.server.request("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(response.body, p.metrics.expose())
+      << "/metrics must be byte-identical to the golden-locked exposition";
+  EXPECT_NE(response.body.find("sophon_shard_hit_total 3"), std::string::npos);
+  EXPECT_NE(response.body.find("# HELP sophon_shard_hit_total "), std::string::npos);
+}
+
+TEST(TelemetryServer, HealthzReports503OnCrit) {
+  Plane p;
+  const auto ok = p.server.request("/healthz");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.content_type, "application/json");
+  auto doc = Json::parse(ok.body);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("overall").as_string(), "ok");
+
+  p.metrics.gauge("sophon_epoch_fetch_stall_fraction").set(0.95);
+  p.health.evaluate(p.metrics.snapshot(), Seconds(1.0));
+  const auto crit = p.server.request("/healthz");
+  EXPECT_EQ(crit.status, 503) << "CRIT must trip off-the-shelf HTTP probes";
+  doc = Json::parse(crit.body);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("overall").as_string(), "crit");
+}
+
+TEST(TelemetryServer, TimeseriesRouteServesTheRecorderDump) {
+  Plane p;
+  p.metrics.counter("sophon_shard_hit").increment();
+  p.recorder.sample_at(1.0);
+  const auto response = p.server.request("/timeseries");
+  EXPECT_EQ(response.status, 200);
+  const auto doc = Json::parse(response.body);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("kind").as_string(), "sophon.timeseries");
+  EXPECT_EQ(doc->at("samples").as_int(), 1);
+}
+
+TEST(TelemetryServer, UnknownRouteIs404AndAbsentComponentsToo) {
+  Plane p;
+  EXPECT_EQ(p.server.request("/nope").status, 404);
+
+  MetricsRegistry bare_metrics;
+  TelemetryServer bare{bare_metrics, nullptr, nullptr, {}};
+  EXPECT_EQ(bare.request("/metrics").status, 200);
+  EXPECT_EQ(bare.request("/healthz").status, 404);
+  EXPECT_EQ(bare.request("/timeseries").status, 404);
+}
+
+TEST(TelemetryServer, ServesARealScrapeOnAnEphemeralPort) {
+  Plane p;
+  register_known_metrics(p.metrics);
+  p.metrics.counter("sophon_shard_hit").increment(7);
+  ASSERT_TRUE(p.server.start()) << p.server.error();
+  ASSERT_NE(p.server.port(), 0);
+  ASSERT_TRUE(p.server.running());
+
+  const auto response = http_get(p.server.port(), "/metrics");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response->find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response->find("sophon_shard_hit_total 7"), std::string::npos);
+
+  const auto missing = http_get(p.server.port(), "/missing");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_NE(missing->find("HTTP/1.0 404"), std::string::npos);
+
+  EXPECT_EQ(p.server.requests_served(), 2u);
+  p.server.stop();
+  EXPECT_FALSE(p.server.running());
+}
+
+TEST(TelemetryServer, RebindingABusyPortFailsSoft) {
+  Plane p;
+  ASSERT_TRUE(p.server.start());
+  MetricsRegistry other;
+  TelemetryServer clash{other, nullptr, nullptr, {.port = p.server.port()}};
+  EXPECT_FALSE(clash.start());
+  EXPECT_FALSE(clash.error().empty());
+  EXPECT_FALSE(clash.running());
+}
+
+// TSan target: scrapes racing the writers they observe — the sampler
+// folding the recorder, the evaluator grading, counters ticking.
+TEST(TelemetryServerConcurrency, ScrapesRaceTheWriters) {
+  Plane p;
+  ASSERT_TRUE(p.server.start());
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      p.metrics.counter("sophon_shard_hit").increment();
+      p.metrics.gauge("sophon_epoch_fetch_stall_fraction").set((i % 10) / 10.0);
+      p.health.evaluate(p.metrics.snapshot(), Seconds(1.0));
+      p.recorder.sample_at(static_cast<double>(i));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&] {
+      // A minimum scrape count even if the writer finishes first, then keep
+      // racing until it does.
+      for (int i = 0; i < 5 || !stop.load(); ++i) {
+        for (const char* path : {"/metrics", "/healthz", "/timeseries"}) {
+          (void)http_get(p.server.port(), path);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : scrapers) t.join();
+  EXPECT_GT(p.server.requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace sophon::obs

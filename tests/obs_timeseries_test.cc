@@ -1,0 +1,176 @@
+// Flight recorder semantics: counters sample as interval deltas, gauges as
+// instantaneous readings, durations as accrued seconds; raw rings fold into
+// the downsampled tail (sum vs mean by kind); memory stays bounded via the
+// ring capacities and the max_series cap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace sophon::obs {
+namespace {
+
+TEST(FlightRecorder, CountersRecordDeltasGaugesRecordValues) {
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry);
+
+  registry.counter("sophon_test_events").increment(5);
+  registry.gauge("sophon_test_depth").set(3.0);
+  recorder.sample_at(1.0);
+
+  registry.counter("sophon_test_events").increment(2);
+  registry.gauge("sophon_test_depth").set(9.0);
+  recorder.sample_at(2.0);
+
+  const auto events = recorder.recent("sophon_test_events");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].value, 5.0);  // delta from the empty baseline
+  EXPECT_DOUBLE_EQ(events[1].value, 2.0);  // delta, not cumulative 7
+  EXPECT_EQ(recorder.kind("sophon_test_events"), SeriesKind::kCounterDelta);
+
+  const auto depth = recorder.recent("sophon_test_depth");
+  ASSERT_EQ(depth.size(), 2u);
+  EXPECT_DOUBLE_EQ(depth[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(depth[1].value, 9.0);
+  EXPECT_EQ(recorder.kind("sophon_test_depth"), SeriesKind::kGauge);
+
+  EXPECT_EQ(recorder.samples(), 2u);
+  EXPECT_EQ(recorder.recent("sophon_unknown").size(), 0u);
+}
+
+TEST(FlightRecorder, DurationsRecordIntervalSeconds) {
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry);
+  registry.duration("sophon_test_cpu").observe(Seconds(1.5));
+  recorder.sample_at(1.0);
+  registry.duration("sophon_test_cpu").observe(Seconds(0.25));
+  registry.duration("sophon_test_cpu").observe(Seconds(0.25));
+  recorder.sample_at(2.0);
+
+  const auto points = recorder.recent("sophon_test_cpu");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(points[1].value, 0.5);
+  EXPECT_EQ(recorder.kind("sophon_test_cpu"), SeriesKind::kSeconds);
+}
+
+TEST(FlightRecorder, RawWindowFoldsIntoTailByKind) {
+  TimeSeriesOptions options;
+  options.raw_capacity = 4;
+  options.tail_capacity = 8;
+  options.downsample = 2;
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry, options);
+
+  // 8 samples: counter +1 each interval, gauge ramp 1..8. The first 4
+  // points overflow the raw ring and fold pairwise into the tail.
+  for (int i = 1; i <= 8; ++i) {
+    registry.counter("sophon_test_events").increment(1);
+    registry.gauge("sophon_test_depth").set(static_cast<double>(i));
+    recorder.sample_at(static_cast<double>(i));
+  }
+
+  const auto raw = recorder.recent("sophon_test_events");
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_DOUBLE_EQ(raw.front().t, 5.0);  // oldest surviving raw point
+
+  const auto counter_tail = recorder.tail("sophon_test_events");
+  ASSERT_EQ(counter_tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(counter_tail[0].value, 2.0);  // two deltas of 1, summed
+  EXPECT_DOUBLE_EQ(counter_tail[1].value, 2.0);
+
+  const auto gauge_tail = recorder.tail("sophon_test_depth");
+  ASSERT_EQ(gauge_tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(gauge_tail[0].value, 1.5);  // mean of 1 and 2
+  EXPECT_DOUBLE_EQ(gauge_tail[1].value, 3.5);  // mean of 3 and 4
+}
+
+TEST(FlightRecorder, MaxSeriesCapCountsDrops) {
+  TimeSeriesOptions options;
+  options.max_series = 2;
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry, options);
+  registry.counter("sophon_a").increment();
+  registry.counter("sophon_b").increment();
+  registry.counter("sophon_c").increment();
+  registry.counter("sophon_d").increment();
+  recorder.sample_at(1.0);
+  EXPECT_EQ(recorder.series_names().size(), 2u);
+  EXPECT_EQ(recorder.dropped_series(), 2u);
+}
+
+TEST(FlightRecorder, ToJsonCarriesTheDocumentShape) {
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry);
+  registry.counter("sophon_test_events").increment(3);
+  recorder.sample_at(1.0);
+  recorder.sample_at(2.0);
+
+  const Json doc = recorder.to_json();
+  EXPECT_EQ(doc.at("kind").as_string(), "sophon.timeseries");
+  EXPECT_EQ(doc.at("samples").as_int(), 2);
+  const Json& series = doc.at("series");
+  ASSERT_EQ(series.size(), 1u);
+  const Json& one = series.at(0);
+  EXPECT_EQ(one.at("name").as_string(), "sophon_test_events");
+  EXPECT_EQ(one.at("series_kind").as_string(), "counter_delta");
+  ASSERT_EQ(one.at("recent").size(), 2u);
+  EXPECT_DOUBLE_EQ(one.at("recent").at(0).at(0).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(one.at("recent").at(0).at(1).as_number(), 3.0);
+
+  // Round-trips through the parser (the /timeseries consumer's contract).
+  const auto parsed = Json::parse(doc.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(FlightRecorder, WallClockSampleUsesMonotonicTime) {
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry);
+  registry.gauge("sophon_test_depth").set(1.0);
+  recorder.sample();
+  recorder.sample();
+  const auto points = recorder.recent("sophon_test_depth");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GE(points[0].t, 0.0);
+  EXPECT_GE(points[1].t, points[0].t);
+}
+
+// TSan target: a sampler thread folding while readers dump JSON and pull
+// series — the telemetry server's actual access pattern.
+TEST(FlightRecorderConcurrency, SamplerAndReadersInterleave) {
+  MetricsRegistry registry;
+  FlightRecorder recorder(registry);
+  std::atomic<bool> stop{false};
+
+  std::thread sampler([&] {
+    for (int i = 0; i < 400; ++i) {
+      registry.counter("sophon_test_events").increment();
+      registry.gauge("sophon_test_depth").set(static_cast<double>(i));
+      recorder.sample_at(static_cast<double>(i));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        (void)recorder.to_json();
+        (void)recorder.recent("sophon_test_events");
+        (void)recorder.series_names();
+        (void)recorder.last_snapshot();
+      }
+    });
+  }
+  sampler.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(recorder.samples(), 400u);
+}
+
+}  // namespace
+}  // namespace sophon::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -250,6 +251,96 @@ TEST(Telemetry, PrefetchMetricsPreRegisteredAtZero) {
   EXPECT_NE(text.find("sophon_prefetch_buffer_bytes 0\n"), std::string::npos);
   EXPECT_NE(text.find("sophon_prefetch_lead_seconds_count 0\n"), std::string::npos);
   EXPECT_NE(text.find("sophon_prefetch_lead_seconds_sum 0\n"), std::string::npos);
+}
+
+TEST(Telemetry, SnapshotDeltaOfEmptyRegistryIsEmpty) {
+  MetricsRegistry registry;
+  const MetricsSnapshot a = registry.snapshot();
+  const MetricsSnapshot b = registry.snapshot();
+  const MetricsSnapshot delta = snapshot_delta(b, a);
+  EXPECT_TRUE(delta.counters.empty());
+  EXPECT_TRUE(delta.gauges.empty());
+  EXPECT_TRUE(delta.durations.empty());
+  EXPECT_TRUE(delta.histograms.empty());
+}
+
+// The flight recorder's contract: snapshots taken while writers hammer the
+// registry chop the activity into intervals whose deltas add back up to the
+// final totals — nothing double-counted, nothing lost between snapshots.
+TEST(Telemetry, ConcurrentSnapshotDeltasSumToTheTotal) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry] {
+      for (int i = 0; i < 20000; ++i) {
+        registry.counter("sophon_mt_events").increment();
+        registry.duration("sophon_mt_cpu").observe(Seconds(0.001));
+        registry.histogram("sophon_mt_lat").observe(Seconds(0.01));
+      }
+    });
+  }
+
+  // A snapshotting thread carves the concurrent activity into intervals.
+  std::uint64_t counter_sum = 0;
+  std::uint64_t duration_count_sum = 0;
+  std::uint64_t histogram_count_sum = 0;
+  std::thread sampler([&] {
+    MetricsSnapshot last;
+    while (!stop.load()) {
+      const MetricsSnapshot now = registry.snapshot();
+      const MetricsSnapshot delta = snapshot_delta(now, last);
+      if (delta.counters.count("sophon_mt_events")) {
+        counter_sum += delta.counters.at("sophon_mt_events");
+      }
+      if (delta.durations.count("sophon_mt_cpu")) {
+        duration_count_sum += delta.durations.at("sophon_mt_cpu").count;
+      }
+      if (delta.histograms.count("sophon_mt_lat")) {
+        histogram_count_sum += delta.histograms.at("sophon_mt_lat").count;
+      }
+      last = now;
+    }
+    // One final interval after the writers quiesced catches the remainder.
+    const MetricsSnapshot now = registry.snapshot();
+    const MetricsSnapshot delta = snapshot_delta(now, last);
+    counter_sum += delta.counters.at("sophon_mt_events");
+    duration_count_sum += delta.durations.at("sophon_mt_cpu").count;
+    histogram_count_sum += delta.histograms.at("sophon_mt_lat").count;
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_EQ(counter_sum, 80000u);
+  EXPECT_EQ(duration_count_sum, 80000u);
+  EXPECT_EQ(histogram_count_sum, 80000u);
+}
+
+TEST(Telemetry, HistogramInfBucketSurvivesConcurrentScrapes) {
+  MetricsRegistry registry;
+  auto& hist = registry.histogram("sophon_mt_lat");
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&hist] {
+      for (int i = 0; i < 5000; ++i) {
+        hist.observe(Seconds(0.001));
+        hist.observe(Seconds(100.0));  // past the last bound -> +Inf bucket
+      }
+    });
+  }
+  std::thread scraper([&registry] {
+    for (int i = 0; i < 50; ++i) (void)registry.expose();
+  });
+  for (auto& t : writers) t.join();
+  scraper.join();
+
+  // The +Inf bucket is cumulative: after quiescence it equals _count, and
+  // both equal every observation made.
+  const std::string text = registry.expose();
+  EXPECT_NE(text.find("sophon_mt_lat_bucket{le=\"+Inf\"} 40000\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("sophon_mt_lat_count 40000\n"), std::string::npos);
+  EXPECT_EQ(registry.snapshot().histograms.at("sophon_mt_lat").count, 40000u);
 }
 
 }  // namespace

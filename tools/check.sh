@@ -25,6 +25,16 @@
 #                             mention a flag the binary no longer has, or the
 #                             binary grows a flag/command the docs omit. Also
 #                             runs as part of the default check.
+#   tools/check.sh --bench-regress
+#                             re-run the ablations that commit BENCH_*.json
+#                             artifacts (prefetch, adapt, materialize) in a
+#                             scratch directory and compare every numeric
+#                             field against the committed artifact with
+#                             `sophonctl bench-compare` (5% tolerance). The
+#                             runs are deterministic DES output, so a
+#                             mismatch means the substrate drifted, not the
+#                             machine. Opt-in like the sanitizer modes: three
+#                             full ablation runs are too slow for every edit.
 #
 # Each sanitizer needs its own build directory: objects built with
 # -fsanitize=thread or -fsanitize=address are not link-compatible with a
@@ -40,7 +50,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # ctest switches, generic placeholders) — those live on the allowlist.
 check_docs() {
   local help flags_help flags_docs commands missing stale ok=0
-  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|build|target|test-dir|output-on-failure|key)$'
+  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|bench-regress|build|target|test-dir|output-on-failure|key)$'
   help=$(build/tools/sophonctl help)
 
   flags_help=$(printf '%s\n' "$help" | grep -oE '^\s*--[a-z][a-z0-9-]*' | tr -d ' ' | sort -u)
@@ -80,10 +90,10 @@ sanitized_targets=(
   loader_test loader_degradation_test loader_prefetch_test
   prefetch_staging_test prefetch_replay_test
   net_resilience_test net_rpc_test net_link_test net_wire_test
-  obs_concurrency_test
+  obs_concurrency_test obs_timeseries_test obs_health_test obs_telemetry_server_test
   shard_format_test storage_shard_serving_test storage_disk_test
 )
-sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency|Wire|Crc32|Shard|DiskStore'
+sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency|FlightRecorder|Health|Wire|Crc32|Shard|DiskStore'
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSOPHON_SANITIZE=thread
@@ -109,8 +119,24 @@ elif [[ "${1:-}" == "--docs" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target sophonctl
   check_docs
+elif [[ "${1:-}" == "--bench-regress" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target sophonctl ablation_prefetch ablation_adapt \
+    ablation_materialize
+  repo=$(pwd)
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  for bench in prefetch adapt materialize; do
+    echo "bench-regress: re-running ablation_$bench"
+    (cd "$tmp" && "$repo/build/bench/ablation_$bench" > /dev/null)
+    "$repo/build/tools/sophonctl" bench-compare \
+      --baseline "$repo/BENCH_$bench.json" \
+      --candidate "$tmp/BENCH_$bench.json" \
+      --tolerance 0.05
+  done
+  echo "bench-regress OK: prefetch, adapt, materialize match the committed artifacts"
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs|--bench-regress]" >&2
   exit 2
 else
   cmake -B build -S .

@@ -21,13 +21,22 @@
 // `sophonctl help` renders it, and every invocation validates its flags
 // against it — so the table is the single source of truth the doc-drift
 // linter (tools/check.sh --docs) checks docs/CLI.md against.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <functional>
@@ -41,8 +50,13 @@
 #include "net/fault.h"
 #include "net/resilience.h"
 #include "net/wire.h"
+#include "obs/health.h"
+#include "obs/metrics_table.h"
+#include "obs/postmortem.h"
 #include "obs/replay_trace.h"
 #include "obs/report.h"
+#include "obs/telemetry_server.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "pipeline/extra_ops.h"
 #include "prefetch/replay.h"
@@ -205,6 +219,82 @@ int cmd_decide(const Flags& flags) {
   return 0;
 }
 
+/// Blocking HTTP/1.0 GET against the loopback telemetry endpoint. Used by
+/// `monitor` and `simulate --monitor-self`; nullopt when the connection
+/// fails (server gone), a parsed status + body otherwise.
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+std::optional<HttpReply> http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  HttpReply reply;
+  // Status line: "HTTP/1.0 200 OK".
+  if (const auto space = raw.find(' '); space != std::string::npos) {
+    reply.status = std::atoi(raw.c_str() + space + 1);
+  }
+  reply.body = raw.substr(header_end + 4);
+  return reply;
+}
+
+/// One `monitor` status line from a /healthz document and a /metrics
+/// exposition: the live per-epoch terminal view.
+std::string monitor_line(const Json& healthz, const std::string& exposition) {
+  const auto metric_value = [&exposition](const std::string& name) {
+    const auto pos = exposition.find("\n" + name + " ");
+    if (pos == std::string::npos) return 0.0;
+    return std::atof(exposition.c_str() + pos + 1 + name.size());
+  };
+  std::string worst;
+  if (healthz.has("rules")) {
+    const auto& rules = healthz.at("rules");
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      const auto& rule = rules.at(i);
+      if (rule.at("state").as_string() != "ok" && worst.empty()) {
+        worst = rule.at("name").as_string() + "=" + rule.at("state").as_string();
+      }
+    }
+  }
+  std::string line = strf(
+      "epochs %.0f | epoch %.1fs | link util %.2f | stall %.2f | gen %.0f | health %s",
+      metric_value("sophon_epochs_completed_total"), metric_value("sophon_epoch_time_seconds"),
+      metric_value("sophon_epoch_link_utilization"),
+      metric_value("sophon_epoch_fetch_stall_fraction"),
+      metric_value("sophon_replan_generation"), healthz.at("overall").as_string().c_str());
+  if (!worst.empty()) line += " (" + worst + ")";
+  return line;
+}
+
 /// The --adapt path of simulate: a multi-epoch run under a bandwidth
 /// schedule, with the online replanner checking drift at every boundary.
 int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
@@ -224,11 +314,16 @@ int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
 
   const double drop_factor = flags.number("bw-drop-factor", 1.0);
   const auto drop_epoch = static_cast<std::size_t>(flags.integer("bw-drop-epoch", 0));
+  // 0 = the drop is permanent; otherwise the link heals at this epoch (the
+  // recovery leg of the health arc).
+  const auto recover_epoch = static_cast<std::size_t>(flags.integer("bw-recover-epoch", 0));
   const Bandwidth planned_bw = cluster.bandwidth;
   if (drop_factor != 1.0) {
-    options.bandwidth_at = [planned_bw, drop_factor, drop_epoch](std::size_t epoch) {
-      return epoch >= drop_epoch ? Bandwidth::bits_per_sec(planned_bw.bps() / drop_factor)
-                                 : planned_bw;
+    options.bandwidth_at = [planned_bw, drop_factor, drop_epoch,
+                            recover_epoch](std::size_t epoch) {
+      const bool dropped =
+          epoch >= drop_epoch && (recover_epoch == 0 || epoch < recover_epoch);
+      return dropped ? Bandwidth::bits_per_sec(planned_bw.bps() / drop_factor) : planned_bw;
     };
   }
   net::RetryPolicy retry;
@@ -237,6 +332,64 @@ int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
     retry.seed = faults.profile().seed;
     options.faults = &faults;
     options.retry = retry;
+  }
+
+  // Live telemetry plane: flight recorder + health rules always ride along
+  // (they are cheap and feed the final exposition); the HTTP endpoint and
+  // the postmortem guard are opt-in.
+  obs::register_known_metrics(metrics);
+  obs::FlightRecorder recorder(metrics);
+  obs::HealthEvaluator health(obs::default_health_rules());
+  options.telemetry.metrics = &metrics;
+  options.telemetry.recorder = &recorder;
+  options.telemetry.health = &health;
+  options.telemetry.sample_interval = Seconds(flags.number("sample-interval", 0.0));
+
+  std::unique_ptr<obs::TelemetryServer> server;
+  if (flags.flag("telemetry-port")) {
+    obs::TelemetryServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(flags.integer("telemetry-port", 0));
+    server = std::make_unique<obs::TelemetryServer>(metrics, &recorder, &health, server_options);
+    if (server->start()) {
+      std::printf("telemetry: http://127.0.0.1:%u (/metrics /healthz /timeseries)\n",
+                  static_cast<unsigned>(server->port()));
+      std::fflush(stdout);  // a polling parent must see the port before the run
+    } else {
+      std::fprintf(stderr, "telemetry: %s (continuing without)\n", server->error().c_str());
+      server.reset();
+    }
+  }
+
+  const auto postmortem_out = flags.str("postmortem-out", "");
+  obs::PostmortemSources sources;
+  sources.metrics = &metrics;
+  sources.recorder = &recorder;
+  sources.health = &health;
+  std::unique_ptr<obs::PostmortemGuard> guard;
+  if (!postmortem_out.empty()) {
+    guard = std::make_unique<obs::PostmortemGuard>(postmortem_out, sources);
+    options.telemetry.stop_signal = &guard->stop_signal();
+  }
+
+  if (flags.flag("monitor-self") && server != nullptr) {
+    // Scrape our own endpoint over the real socket at every boundary — the
+    // single-process proof that a mid-run scrape sees the run move.
+    const std::uint16_t port = server->port();
+    options.telemetry.on_epoch = [port](const core::adapt::EpochRow& row) {
+      const auto healthz = http_get(port, "/healthz");
+      const auto exposition = http_get(port, "/metrics");
+      if (!healthz || !exposition) {
+        std::printf("monitor-self: epoch %zu scrape failed\n", row.epoch);
+        return;
+      }
+      const auto doc = Json::parse(healthz->body);
+      if (!doc) {
+        std::printf("monitor-self: epoch %zu /healthz unparseable\n", row.epoch);
+        return;
+      }
+      std::printf("monitor-self: %s\n", monitor_line(*doc, exposition->body).c_str());
+      std::fflush(stdout);
+    };
   }
 
   const auto result = core::adapt::run_adaptive(catalog, pipe, cm, cluster, gpu_batch, options);
@@ -259,6 +412,28 @@ int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
   std::printf("re-plans accepted: %zu | final plan offloads %zu of %zu samples\n",
               result.replans, result.final_plan->offloaded_count(), catalog.size());
   if (options.adapt) std::printf("%s", metrics.expose().c_str());
+  if (server != nullptr) server->stop();
+
+  if (result.stopped_by_signal != 0) {
+    if (guard != nullptr) {
+      guard->dump(strf("signal %d after %zu epochs", result.stopped_by_signal,
+                       result.rows.size()));
+      std::printf("stopped by signal %d after %zu epochs; wrote %s\n",
+                  result.stopped_by_signal, result.rows.size(), postmortem_out.c_str());
+    }
+    return 128 + result.stopped_by_signal;
+  }
+  if (guard != nullptr) {
+    // Fault-ladder exhaustion leaves the same black box a kill does.
+    const auto snapshot = metrics.snapshot();
+    const auto failures = snapshot.counters.find("sophon_fetch_failures");
+    if (failures != snapshot.counters.end() && failures->second > 0) {
+      guard->dump(strf("fault-ladder exhaustion: %llu fetches failed",
+                       static_cast<unsigned long long>(failures->second)));
+      std::printf("wrote postmortem (%llu exhausted fetch ladders) to %s\n",
+                  static_cast<unsigned long long>(failures->second), postmortem_out.c_str());
+    }
+  }
   return 0;
 }
 
@@ -504,6 +679,7 @@ int cmd_validate_trace(const Flags& flags) {
   }
   const auto& events = loaded->at("traceEvents");
   std::map<std::string, std::size_t> categories;
+  std::map<std::string, std::size_t> time_bases;
   std::size_t complete = 0;
   std::size_t metadata = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -524,6 +700,11 @@ int cmd_validate_trace(const Flags& flags) {
     if (ph != "X") return fail("has unsupported phase");
     if (!event.has("ts") || !event.has("dur")) return fail("lacks ts/dur");
     if (event.at("dur").as_number() < 0.0) return fail("has negative duration");
+    if (event.has("tb")) {
+      const auto& tb = event.at("tb").as_string();
+      if (tb != "virtual" && tb != "steady") return fail("has an unknown time base");
+      ++time_bases[tb];
+    }
     if (event.has("cat")) ++categories[event.at("cat").as_string()];
     ++complete;
   }
@@ -538,12 +719,138 @@ int cmd_validate_trace(const Flags& flags) {
       std::fprintf(stderr, "%s: no fetch or staging_wait spans\n", in.c_str());
       return 1;
     }
+    // The "two time bases" invariant (docs/OBSERVABILITY.md): one file is
+    // either a virtual-time replay or a steady-clock recording, never both.
+    // Events without a "tb" marker (older exports) don't count either way.
+    if (time_bases["virtual"] > 0 && time_bases["steady"] > 0) {
+      std::fprintf(stderr,
+                   "%s: mixed time bases (%zu virtual, %zu steady spans in one file)\n",
+                   in.c_str(), time_bases["virtual"], time_bases["steady"]);
+      return 1;
+    }
   }
   std::printf("trace OK: %zu spans, %zu thread names", complete, metadata);
   for (const auto& [category, count] : categories) {
     std::printf(" | %s %zu", category.c_str(), count);
   }
+  for (const auto& [base, count] : time_bases) {
+    std::printf(" | tb:%s %zu", base.c_str(), count);
+  }
   std::printf("\n");
+  return 0;
+}
+
+/// Poll a live telemetry endpoint and render one status line per scrape —
+/// the operator-facing counterpart of `simulate --telemetry-port`.
+int cmd_monitor(const Flags& flags) {
+  const auto port = static_cast<std::uint16_t>(flags.integer("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "missing required flag --port\n");
+    return 2;
+  }
+  const double interval = flags.number("interval", 1.0);
+  const auto iterations = static_cast<std::size_t>(flags.integer("iterations", 0));
+  std::size_t succeeded = 0;
+  std::size_t consecutive_failures = 0;
+  for (std::size_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(std::max(interval, 0.01)));
+    }
+    const auto healthz = http_get(port, "/healthz");
+    const auto exposition = http_get(port, "/metrics");
+    if (!healthz || !exposition) {
+      // Two misses in a row means the run ended, not a blip.
+      if (++consecutive_failures >= 2) break;
+      continue;
+    }
+    consecutive_failures = 0;
+    const auto doc = Json::parse(healthz->body);
+    if (!doc) {
+      std::fprintf(stderr, "monitor: /healthz unparseable\n");
+      return 1;
+    }
+    std::printf("%s\n", monitor_line(*doc, exposition->body).c_str());
+    std::fflush(stdout);
+    ++succeeded;
+  }
+  if (succeeded == 0) {
+    std::fprintf(stderr, "monitor: no scrape of 127.0.0.1:%u succeeded\n",
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+  std::printf("monitor: %zu scrapes\n", succeeded);
+  return 0;
+}
+
+/// Recursive numeric comparison of two JSON bench artifacts. Numbers must
+/// agree within the relative tolerance, everything else exactly; candidate
+/// keys missing from the baseline are ignored (new fields are not a
+/// regression).
+bool bench_compare_value(const std::string& path, const Json& baseline, const Json& candidate,
+                         double tolerance, std::size_t& mismatches) {
+  const auto report = [&](const std::string& what) {
+    std::fprintf(stderr, "  %s: %s\n", path.empty() ? "(root)" : path.c_str(), what.c_str());
+    ++mismatches;
+    return false;
+  };
+  if (baseline.is_number() && candidate.is_number()) {
+    const double want = baseline.as_number();
+    const double got = candidate.as_number();
+    const double scale = std::max({std::fabs(want), std::fabs(got), 1e-12});
+    if (std::fabs(want - got) / scale > tolerance) {
+      return report(strf("%.6g -> %.6g (%.1f%% off, tolerance %.1f%%)", want, got,
+                         100.0 * std::fabs(want - got) / scale, 100.0 * tolerance));
+    }
+    return true;
+  }
+  if (baseline.type() != candidate.type()) return report("type changed");
+  if (baseline.is_object()) {
+    bool ok = true;
+    for (const auto& [key, value] : baseline.items()) {
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (!candidate.has(key)) {
+        report("missing from candidate");
+        ok = false;
+        continue;
+      }
+      ok = bench_compare_value(child, value, candidate.at(key), tolerance, mismatches) && ok;
+    }
+    return ok;
+  }
+  if (baseline.is_array()) {
+    if (baseline.size() != candidate.size()) return report("array length changed");
+    bool ok = true;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      ok = bench_compare_value(path + strf("[%zu]", i), baseline.at(i), candidate.at(i),
+                               tolerance, mismatches) &&
+           ok;
+    }
+    return ok;
+  }
+  if (!(baseline == candidate)) return report("value changed");
+  return true;
+}
+
+/// Compare a freshly produced BENCH_*.json against the committed baseline.
+/// Backs tools/check.sh --bench-regress.
+int cmd_bench_compare(const Flags& flags) {
+  const auto baseline_path = flags.required("baseline");
+  const auto candidate_path = flags.required("candidate");
+  const double tolerance = flags.number("tolerance", 0.05);
+  const auto baseline = core::load_json_file(baseline_path);
+  const auto candidate = core::load_json_file(candidate_path);
+  if (!baseline || !candidate) {
+    std::fprintf(stderr, "cannot read %s\n", (!baseline ? baseline_path : candidate_path).c_str());
+    return 1;
+  }
+  std::size_t mismatches = 0;
+  if (!bench_compare_value("", *baseline, *candidate, tolerance, mismatches)) {
+    std::fprintf(stderr, "bench-compare: %zu field(s) regressed (%s vs %s)\n", mismatches,
+                 candidate_path.c_str(), baseline_path.c_str());
+    return 1;
+  }
+  std::printf("bench-compare OK: %s within %.0f%% of %s\n", candidate_path.c_str(),
+              100.0 * tolerance, baseline_path.c_str());
   return 0;
 }
 
@@ -823,6 +1130,11 @@ const std::vector<CommandSpec>& commands() {
             {"min-improvement", "X", "relative-improvement floor for a re-plan (default 0.05)"},
             {"bw-drop-factor", "X", "divide link bandwidth by this mid-run (default 1)"},
             {"bw-drop-epoch", "N", "epoch at which the bandwidth drop hits (default 0)"},
+            {"bw-recover-epoch", "N", "epoch at which the link heals (default 0 = never)"},
+            {"telemetry-port", "N", "serve /metrics /healthz /timeseries on 127.0.0.1 (0 = ephemeral)"},
+            {"sample-interval", "X", "wall-clock flight-recorder sampling period in seconds"},
+            {"postmortem-out", "FILE", "write a postmortem dump on kill or fault exhaustion"},
+            {"monitor-self", "", "scrape our own telemetry endpoint at every epoch boundary"},
             {"shard-budget-mib", "N",
              "materialize deterministic prefixes under this disk budget and re-rank "
              "(0 = unlimited)"}},
@@ -857,8 +1169,18 @@ const std::vector<CommandSpec>& commands() {
        cmd_trace},
       {"validate-trace", "schema-check a Chrome trace produced by simulate --trace-out",
        {{"in", "FILE", "trace JSON to validate (required)"},
-        {"strict", "0|1", "require sample-lifecycle span coverage (default 1)"}},
+        {"strict", "0|1", "require span coverage and a single time base (default 1)"}},
        cmd_validate_trace},
+      {"monitor", "poll a live telemetry endpoint and render per-epoch status lines",
+       {{"port", "N", "telemetry port of a simulate --telemetry-port run (required)"},
+        {"interval", "X", "seconds between scrapes (default 1)"},
+        {"iterations", "N", "stop after this many scrapes (default: until the run ends)"}},
+       cmd_monitor},
+      {"bench-compare", "compare a bench artifact against a committed baseline",
+       {{"baseline", "FILE", "committed BENCH_*.json (required)"},
+        {"candidate", "FILE", "freshly produced artifact to check (required)"},
+        {"tolerance", "X", "max relative drift per numeric field (default 0.05)"}},
+       cmd_bench_compare},
   };
   return kCommands;
 }
@@ -924,7 +1246,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: sophonctl <command> [flags]\n"
                "commands: gen-profiles | decide | simulate | evaluate | ingest | pack | "
-               "inspect-shard | calibrate | trace | validate-trace | help\n");
+               "inspect-shard | calibrate | trace | validate-trace | monitor | "
+               "bench-compare | help\n");
 }
 
 }  // namespace
