@@ -15,6 +15,7 @@
 
 #include "core/adapt/loop.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -38,6 +39,24 @@ std::uint64_t workload(std::uint64_t seed) {
   return x;
 }
 
+/// One op plus one ledger attribution record per iteration. The ledger's
+/// unit of work is a fetch response, and a realistic fetch (wire copy + crc
+/// of a ~0.5 MiB payload) costs microseconds — the op-sized workload here is
+/// the honest denominator for the <3% claim; the DES harness below strips
+/// per-fetch cost entirely, so a per-sample hook measured against it would
+/// be bounded by simulator speed, not by the ledger.
+double ns_per_iter_ledger(std::uint64_t& sink, obs::TrafficLedger& ledger, std::size_t rep) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    sink += workload(sink + i);
+    ledger.record(rep * kIterations + i, 2, obs::TrafficCause::kDemand, Bytes(1 << 19));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+         static_cast<double>(kIterations);
+}
+
 double ns_per_iter(std::uint64_t& sink, bool with_span) {
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < kIterations; ++i) {
@@ -58,7 +77,9 @@ double ns_per_iter(std::uint64_t& sink, bool with_span) {
 struct TelemetryCost {
   double baseline_ms = 1e18;  // run_adaptive with no hooks, best-of-N
   double enabled_ms = 1e18;   // full metrics + recorder + health hooks
+  double ledger_ms = 1e18;    // hooks plus the per-sample traffic ledger
   std::size_t samples = 0;    // flight-recorder samples the enabled runs took
+  std::uint64_t ledger_records = 0;  // attribution records the ledger runs took
   bool disabled_is_zero = false;  // absent hooks touched no telemetry object
 };
 
@@ -77,19 +98,25 @@ TelemetryCost telemetry_cost() {
   // holds structurally, not just below measurement noise.
   MetricsRegistry sentinel_registry;
   sophon::obs::FlightRecorder sentinel_recorder(sentinel_registry);
+  sophon::obs::TrafficLedger sentinel_ledger;
 
   MetricsRegistry registry;
   sophon::obs::FlightRecorder recorder(registry);
   sophon::obs::HealthEvaluator health(sophon::obs::default_health_rules());
+  sophon::obs::TrafficLedger::Options ledger_options;
+  ledger_options.metrics = &registry;
+  sophon::obs::TrafficLedger ledger(ledger_options);
 
-  auto run_ms = [&](bool with_telemetry) {
+  enum class Mode { kBare, kTelemetry, kTelemetryAndLedger };
+  auto run_ms = [&](Mode mode) {
     RunOptions options;
     options.epochs = 6;
-    if (with_telemetry) {
+    if (mode != Mode::kBare) {
       options.telemetry.metrics = &registry;
       options.telemetry.recorder = &recorder;
       options.telemetry.health = &health;
     }
+    if (mode == Mode::kTelemetryAndLedger) options.telemetry.ledger = &ledger;
     const auto start = std::chrono::steady_clock::now();
     const auto result = run_adaptive(catalog, pipe, cm, planned, Seconds(1.0), options);
     const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -99,18 +126,21 @@ TelemetryCost telemetry_cost() {
 
   TelemetryCost cost;
   for (std::size_t rep = 0; rep < 8; ++rep) {
-    const double base = run_ms(false);
-    const double enabled = run_ms(true);
-    if (base < 0.0 || enabled < 0.0) return cost;
+    const double base = run_ms(Mode::kBare);
+    const double enabled = run_ms(Mode::kTelemetry);
+    const double with_ledger = run_ms(Mode::kTelemetryAndLedger);
+    if (base < 0.0 || enabled < 0.0 || with_ledger < 0.0) return cost;
     if (rep == 0) continue;  // warm-up
     cost.baseline_ms = std::min(cost.baseline_ms, base);
     cost.enabled_ms = std::min(cost.enabled_ms, enabled);
+    cost.ledger_ms = std::min(cost.ledger_ms, with_ledger);
   }
   cost.samples = recorder.samples();
+  cost.ledger_records = ledger.records();
   const MetricsSnapshot untouched = sentinel_registry.snapshot();
-  cost.disabled_is_zero = sentinel_recorder.samples() == 0 && untouched.counters.empty() &&
-                          untouched.gauges.empty() && untouched.durations.empty() &&
-                          untouched.histograms.empty();
+  cost.disabled_is_zero = sentinel_recorder.samples() == 0 && sentinel_ledger.records() == 0 &&
+                          untouched.counters.empty() && untouched.gauges.empty() &&
+                          untouched.durations.empty() && untouched.histograms.empty();
   return cost;
 }
 
@@ -142,14 +172,31 @@ int main() {
     enabled = std::min(enabled, e);
   }
 
+  // Ledger record cost, in its own interleaved pairing (with its own
+  // baseline) so the span measurement above stays undisturbed.
+  double ledger_base = 1e18;
+  double with_ledger = 1e18;
+  obs::TrafficLedger op_ledger;
+  for (std::size_t rep = 0; rep < kRepetitions + 1; ++rep) {
+    const double b = ns_per_iter(sink, false);
+    const double l = ns_per_iter_ledger(sink, op_ledger, rep);
+    if (rep == 0) continue;  // warm-up
+    ledger_base = std::min(ledger_base, b);
+    with_ledger = std::min(with_ledger, l);
+  }
+
   const double disabled_pct = 100.0 * (disabled - baseline) / baseline;
   const double enabled_pct = 100.0 * (enabled - baseline) / baseline;
+  const double ledger_pct = 100.0 * (with_ledger - ledger_base) / ledger_base;
   std::printf("trace overhead (%zu iterations x %zu reps, ~%.0f ns workload, sink %llx)\n",
               kIterations, kRepetitions, baseline, static_cast<unsigned long long>(sink));
   std::printf("  baseline  %8.1f ns/iter\n", baseline);
   std::printf("  disabled  %8.1f ns/iter  (%+.2f%%)\n", disabled, disabled_pct);
   std::printf("  enabled   %8.1f ns/iter  (%+.2f%%, %.0f ns/span, %zu spans drained)\n", enabled,
               enabled_pct, enabled - baseline, drained);
+  std::printf("  +ledger   %8.1f ns/iter  (%+.2f%%, %.0f ns/record, %llu records)\n", with_ledger,
+              ledger_pct, with_ledger - ledger_base,
+              static_cast<unsigned long long>(op_ledger.records()));
 
   // Bounds: enabled tracing must stay under 3% on an op-sized workload;
   // the disabled guard must be indistinguishable from no guard. Its true
@@ -159,30 +206,47 @@ int main() {
   // clear it by an order of magnitude.
   const bool enabled_ok = enabled_pct < 3.0;
   const bool disabled_ok = disabled_pct < 2.0;
+  const bool ledger_ok = ledger_pct < 3.0 && op_ledger.records() > 0;
 
   // The telemetry plane's epoch-boundary hooks, measured on the real
   // adaptive run loop.
   const TelemetryCost telemetry = telemetry_cost();
   const double telemetry_pct =
       100.0 * (telemetry.enabled_ms - telemetry.baseline_ms) / telemetry.baseline_ms;
+  // Informational, deliberately not pinned: the DES simulates a sample in
+  // tens of nanoseconds, so *any* per-sample hook is large relative to it.
+  // The pinned ledger bound is the per-record one above, against an op-sized
+  // workload — the granularity the ledger actually operates at. This run
+  // still proves records flow end-to-end and that absent hooks stay at
+  // exactly zero.
+  const double ledger_run_pct =
+      100.0 * (telemetry.ledger_ms - telemetry.baseline_ms) / telemetry.baseline_ms;
   std::printf("telemetry overhead (run_adaptive, 6 epochs, best of 7)\n");
   std::printf("  baseline  %8.2f ms/run\n", telemetry.baseline_ms);
   std::printf("  enabled   %8.2f ms/run  (%+.2f%%, %zu recorder samples)\n", telemetry.enabled_ms,
               telemetry_pct, telemetry.samples);
+  std::printf("  +ledger   %8.2f ms/run  (%+.2f%% of a ~20 ns/sample DES, unpinned; "
+              "%llu attribution records)\n",
+              telemetry.ledger_ms, ledger_run_pct,
+              static_cast<unsigned long long>(telemetry.ledger_records));
   std::printf("  disabled  hooks absent: %s\n",
-              telemetry.disabled_is_zero ? "0 samples, 0 metrics touched"
+              telemetry.disabled_is_zero ? "0 samples, 0 records, 0 metrics touched"
                                          : "TOUCHED TELEMETRY STATE");
   const bool telemetry_ok = telemetry_pct < 3.0 && telemetry.samples > 0;
+  const bool ledger_flow_ok = telemetry.ledger_records > 0;
 
-  if (enabled_ok && disabled_ok && telemetry_ok && telemetry.disabled_is_zero) {
+  if (enabled_ok && disabled_ok && ledger_ok && telemetry_ok && ledger_flow_ok &&
+      telemetry.disabled_is_zero) {
     std::printf("verified: enabled overhead %.2f%% < 3%%, disabled %.2f%% < 2%%, "
-                "telemetry %.2f%% < 3%% (exactly 0 when absent)\n",
-                enabled_pct, disabled_pct, telemetry_pct);
+                "ledger %.2f%% < 3%%, telemetry %.2f%% < 3%% (exactly 0 when absent)\n",
+                enabled_pct, disabled_pct, ledger_pct, telemetry_pct);
     return 0;
   }
   std::printf("FAILED: enabled %.2f%% (limit 3%%), disabled %.2f%% (limit 2%%), "
-              "telemetry %.2f%% (limit 3%%), absent-hooks zero: %s\n",
-              enabled_pct, disabled_pct, telemetry_pct,
+              "ledger %.2f%% (limit 3%%), telemetry %.2f%% (limit 3%%), "
+              "ledger records: %llu, absent-hooks zero: %s\n",
+              enabled_pct, disabled_pct, ledger_pct, telemetry_pct,
+              static_cast<unsigned long long>(telemetry.ledger_records),
               telemetry.disabled_is_zero ? "yes" : "no");
   return 1;
 }

@@ -4,13 +4,16 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/decision.h"
 #include "core/profiler.h"
 #include "net/wire.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/metrics_table.h"
 #include "obs/timeseries.h"
 #include "util/check.h"
@@ -71,6 +74,7 @@ std::function<sim::SampleFlow(std::size_t)> flow_under(
                                   : Seconds(0.0);
     flow.wire = net::wire_size(pipeline.shape_at(meta.raw, prefix));
     flow.compute_cpu = pipeline.suffix_cost(meta.raw, prefix, cost_model);
+    flow.stage = static_cast<std::uint8_t>(prefix);
     return flow;
   };
 }
@@ -87,12 +91,21 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
       (catalog.size() + planned.batch_size - 1) / planned.batch_size;
   const Seconds gpu_epoch_time = gpu_batch_time * static_cast<double>(num_batches);
 
+  const TelemetryHooks& telemetry = options.telemetry;
+
   // One replanner for both modes keeps the initial plan identical between a
   // static run and an adaptive run — the comparison the ablation makes.
-  AdaptiveReplanner replanner(profile_stage2(catalog, pipeline, cost_model), planned,
-                              gpu_epoch_time, options.adapt_options, options.initial_plan);
+  auto profiles = profile_stage2(catalog, pipeline, cost_model);
+  // Plans from decide_offloading carry their own traffic forecast; an
+  // explicit initial plan does not, so keep the profiles around to price
+  // its receipt for the ledger's savings table.
+  std::vector<SampleProfile> forecast_profiles;
+  if (telemetry.ledger != nullptr && options.initial_plan != nullptr) {
+    forecast_profiles = profiles;
+  }
+  AdaptiveReplanner replanner(std::move(profiles), planned, gpu_epoch_time,
+                              options.adapt_options, options.initial_plan);
 
-  const TelemetryHooks& telemetry = options.telemetry;
   if (telemetry.metrics != nullptr) obs::register_epoch_metrics(*telemetry.metrics);
   std::unique_ptr<IntervalSampler> sampler;
   if (telemetry.recorder != nullptr && telemetry.sample_interval.value() > 0.0) {
@@ -101,6 +114,7 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
 
   RunResult result;
   result.rows.reserve(options.epochs);
+  std::uint64_t forecast_noted_generation = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     if (telemetry.stop_signal != nullptr) {
       const int signum = telemetry.stop_signal->load(std::memory_order_acquire);
@@ -117,7 +131,28 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
     sim::FaultReplayStats fault_stats;
     if (options.faults != nullptr) {
       flow = sim::faulty_flow(std::move(flow), flow_under(nullptr, catalog, pipeline, cost_model),
-                              *options.faults, options.retry, epoch, &fault_stats);
+                              *options.faults, options.retry, epoch, &fault_stats,
+                              telemetry.ledger);
+    } else if (telemetry.ledger != nullptr) {
+      // Fault-free epochs have a single cause: every sample's bytes are a
+      // demand fetch at its planned stage. (Safe because the DES calls the
+      // flow exactly once per sample.)
+      flow = [inner = std::move(flow), ledger = telemetry.ledger](std::size_t i) {
+        auto f = inner(i);
+        ledger->record(i, f.stage, obs::TrafficCause::kDemand, f.wire);
+        return f;
+      };
+    }
+    if (telemetry.ledger != nullptr && replanner.generation() != forecast_noted_generation) {
+      forecast_noted_generation = replanner.generation();
+      if (const auto& forecast = lease->traffic_forecast()) {
+        telemetry.ledger->note_plan_forecast(forecast_noted_generation, forecast->baseline,
+                                             forecast->predicted);
+      } else if (!forecast_profiles.empty()) {
+        const auto priced = forecast_plan_traffic(forecast_profiles, *lease);
+        telemetry.ledger->note_plan_forecast(forecast_noted_generation, priced.baseline,
+                                             priced.predicted);
+      }
     }
 
     if (options.adapt) replanner.begin_epoch(epoch);
@@ -140,6 +175,13 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
       if (row.decision.outcome == ReplanOutcome::kReplanned) ++result.replans;
     }
     result.rows.push_back(row);
+
+    if (telemetry.ledger != nullptr) {
+      // Close the ledger's books for this epoch before the health pass below
+      // so the freshly published sophon_ledger_unattributed_bytes gauge is
+      // part of the snapshot the health rules see.
+      telemetry.ledger->end_epoch(epoch, stats.traffic, row.plan_generation);
+    }
 
     if (telemetry.metrics != nullptr) {
       MetricsRegistry& metrics = *telemetry.metrics;

@@ -26,6 +26,7 @@
 namespace sophon::obs {
 class FlightRecorder;
 class HealthEvaluator;
+class TrafficLedger;
 }  // namespace sophon::obs
 
 namespace sophon::core::adapt {
@@ -59,6 +60,15 @@ struct TelemetryHooks {
   /// Evaluated at every epoch boundary against `metrics` (requires both);
   /// the resulting overall state lands in the sophon_health_state gauge.
   obs::HealthEvaluator* health = nullptr;
+  /// Per-cause traffic attribution (obs/ledger.h): every epoch's wire
+  /// bytes are recorded per sample (demand / retry / raw-fallback under
+  /// fault replay) and the books are closed at each boundary —
+  /// ledger->end_epoch reconciles against the epoch's link bytes and
+  /// publishes sophon_ledger_* before the health rules run. Plans carry
+  /// their decide_offloading traffic forecast into the ledger's savings
+  /// table. Construct the ledger with the same registry as `metrics` so
+  /// the ledger_unattributed health rule sees its gauge.
+  obs::TrafficLedger* ledger = nullptr;
   /// Called after the boundary's metrics/recorder/health updates.
   std::function<void(const EpochRow&)> on_epoch;
   /// Wall-clock period of the background recorder sampler; <= 0 disables.

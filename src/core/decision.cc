@@ -133,6 +133,7 @@ DecisionResult decide_offloading(const std::vector<SampleProfile>& profiles,
     result.plan.set(idx, static_cast<std::uint8_t>(p.min_stage));
     ++result.offloaded;
   }
+  result.plan.set_traffic_forecast(forecast_plan_traffic(profiles, result.plan));
   result.final_cost = cost;
   return result;
 }
@@ -199,6 +200,7 @@ ShardedDecisionResult decide_offloading_sharded(const std::vector<SampleProfile>
     result.plan.set(idx, static_cast<std::uint8_t>(p.min_stage));
     ++result.offloaded;
   }
+  result.plan.set_traffic_forecast(forecast_plan_traffic(profiles, result.plan));
   result.final_cost = cost;
   return result;
 }
@@ -273,10 +275,30 @@ ReplicatedDecisionResult decide_offloading_replicated(const std::vector<SamplePr
     result.plan.set(idx, static_cast<std::uint8_t>(p.min_stage));
     ++result.offloaded;
   }
+  result.plan.set_traffic_forecast(forecast_plan_traffic(profiles, result.plan));
   result.final_cost = cost;
   result.execution_nodes =
       storage::ShardMap::explicit_map(std::move(execution), replicas.num_nodes());
   return result;
+}
+
+PlanTrafficForecast forecast_plan_traffic(const std::vector<SampleProfile>& profiles,
+                                          const OffloadPlan& plan) {
+  PlanTrafficForecast forecast;
+  std::size_t stages = 1;
+  for (const auto& p : profiles) stages = std::max(stages, p.stage_sizes.size());
+  forecast.per_stage.assign(stages, Bytes(0));
+  for (const auto& p : profiles) {
+    const std::size_t prefix = plan.size() == 0 ? 0 : plan.prefix(p.sample_index);
+    SOPHON_CHECK(prefix < p.stage_sizes.size());
+    // stage_sizes are exact framed wire sizes (profiler stage 2), so on an
+    // epoch with no faults or replans the prediction matches the link's
+    // byte counter exactly — the property the ledger's savings table pins.
+    forecast.baseline += p.stage_sizes[0];
+    forecast.predicted += p.stage_sizes[prefix];
+    forecast.per_stage[prefix] += p.stage_sizes[prefix];
+  }
+  return forecast;
 }
 
 }  // namespace sophon::core

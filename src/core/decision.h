@@ -65,6 +65,13 @@ struct DecisionResult {
                                             const sim::ClusterConfig& cluster,
                                             Seconds gpu_epoch_time);
 
+/// The plan's predicted one-epoch link traffic against the all-raw
+/// baseline, from the stage-2 profiles' exact wire sizes. Every decide_*
+/// variant attaches this to its plan; callers with hand-built plans can
+/// compute it directly.
+[[nodiscard]] PlanTrafficForecast forecast_plan_traffic(
+    const std::vector<SampleProfile>& profiles, const OffloadPlan& plan);
+
 /// Decision result against a sharded storage cluster: T_CS is governed by
 /// the *slowest node* (each node only preprocesses the samples it owns), so
 /// the per-node budget vector matters, not just the cluster total.

@@ -1,5 +1,7 @@
 #include "core/plan.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace sophon::core {
@@ -27,6 +29,10 @@ std::size_t OffloadPlan::offloaded_count() const {
   for (const auto p : assignment_)
     if (p > 0) ++n;
   return n;
+}
+
+void OffloadPlan::set_traffic_forecast(PlanTrafficForecast forecast) {
+  forecast_ = std::move(forecast);
 }
 
 double OffloadPlan::offloaded_fraction() const {

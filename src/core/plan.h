@@ -3,11 +3,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "util/units.h"
 
 namespace sophon::core {
+
+/// decide_offloading's traffic receipt for a plan: what one epoch under
+/// this plan is predicted to move over the link, against the all-raw
+/// baseline. The traffic ledger pairs it with the measured per-epoch link
+/// bytes so every replan carries a predicted-vs-actual savings row.
+struct PlanTrafficForecast {
+  Bytes baseline;    ///< one epoch fetched raw (prefix 0 everywhere)
+  Bytes predicted;   ///< one epoch under this plan's prefixes
+  /// predicted bytes broken down by the stage shipped (index = prefix).
+  std::vector<Bytes> per_stage;
+
+  [[nodiscard]] Bytes predicted_savings() const { return baseline - predicted; }
+};
 
 class OffloadPlan {
  public:
@@ -34,8 +48,16 @@ class OffloadPlan {
   /// Fraction of samples offloaded.
   [[nodiscard]] double offloaded_fraction() const;
 
+  /// Attach / read the decision engine's traffic forecast. Optional: plans
+  /// built by hand (tests, uniform baselines) carry none.
+  void set_traffic_forecast(PlanTrafficForecast forecast);
+  [[nodiscard]] const std::optional<PlanTrafficForecast>& traffic_forecast() const {
+    return forecast_;
+  }
+
  private:
   std::vector<std::uint8_t> assignment_;
+  std::optional<PlanTrafficForecast> forecast_;
 };
 
 }  // namespace sophon::core

@@ -57,6 +57,7 @@ void DataLoader::start() {
     config.epoch = options_.epoch;
     config.compress_quality = options_.compress_quality;
     config.metrics = options_.metrics;
+    config.ledger = options_.ledger;
     prefetcher_ =
         std::make_unique<prefetch::PrefetchScheduler>(service_, plan_, order_, config);
     prefetcher_->start();
@@ -136,6 +137,19 @@ void DataLoader::worker_loop() {
         std::tie(response, degraded) = fetch_with_degradation(request);
         span.args().bytes = static_cast<std::int64_t>(response.wire_bytes().count());
         span.args().degraded = degraded ? 1 : 0;
+        if (options_.ledger != nullptr) {
+          // Demand-path recording point. Staged responses were recorded by
+          // the staging buffer at commit — never re-recorded here.
+          auto cause = obs::TrafficCause::kDemand;
+          if (degraded) {
+            cause = obs::TrafficCause::kRawFallback;
+          } else if (response.provenance == net::FetchResponse::Provenance::kShard) {
+            cause = obs::TrafficCause::kShardHit;
+          } else if (response.provenance == net::FetchResponse::Provenance::kShardCorrupt) {
+            cause = obs::TrafficCause::kShardCorruptRefetch;
+          }
+          options_.ledger->record(sample_id, response.stage, cause, response.wire_bytes());
+        }
       }
 
       auto payload = net::unpack_response(response);
@@ -261,6 +275,16 @@ std::size_t DataLoader::reorder_highwater() const {
 std::optional<prefetch::PrefetchScheduler::Stats> DataLoader::prefetch_stats() const {
   if (!prefetcher_) return std::nullopt;
   return prefetcher_->stats();
+}
+
+Bytes DataLoader::invalidate_prefetched(const core::OffloadPlan& plan) {
+  if (!prefetcher_) return Bytes(0);
+  return prefetcher_->invalidate(plan);
+}
+
+Bytes DataLoader::shrink_prefetch_budget(Bytes new_budget) {
+  if (!prefetcher_) return Bytes(0);
+  return prefetcher_->shrink_budget(new_budget);
 }
 
 }  // namespace sophon::loader

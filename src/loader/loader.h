@@ -70,6 +70,11 @@ class DataLoader {
     /// and feeds the sophon_prefetch_* set too (registry must outlive the
     /// loader).
     MetricsRegistry* metrics = nullptr;
+    /// Optional traffic ledger (obs/ledger.h): the loader records demand-
+    /// path wire bytes (cause mapped from the response's provenance and the
+    /// degradation flag); staged bytes are recorded by the prefetch
+    /// staging buffer at commit, never double-counted here.
+    obs::TrafficLedger* ledger = nullptr;
     /// Clairvoyant prefetching over the epoch order: depth > 0 runs a
     /// scheduler thread that stages fetches ahead of the workers (see
     /// src/prefetch/). Tensors stay bit-identical — prefetching changes
@@ -110,6 +115,16 @@ class DataLoader {
 
   /// Prefetch scheduler counters; nullopt when prefetching is off.
   [[nodiscard]] std::optional<prefetch::PrefetchScheduler::Stats> prefetch_stats() const;
+
+  /// Replan hook: evict staged-but-unclaimed prefetched responses whose
+  /// stage no longer matches `plan` (their bytes become prefetch-wasted;
+  /// workers re-fetch on demand under the plan the loader was built with).
+  /// No-op returning 0 when prefetching is off.
+  Bytes invalidate_prefetched(const core::OffloadPlan& plan);
+
+  /// Tighten the prefetch staging budget mid-epoch; no-op when prefetching
+  /// is off. Returns the bytes evicted to fit the new budget.
+  Bytes shrink_prefetch_budget(Bytes new_budget);
 
  private:
   void worker_loop();

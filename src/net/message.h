@@ -38,8 +38,17 @@ struct FetchRequest {
 
 /// Storage → client: the (possibly partially preprocessed) payload.
 struct FetchResponse {
+  /// How the storage node produced the payload — clients map this onto the
+  /// traffic ledger's cause taxonomy (shard-hit vs live vs corrupt-refetch).
+  enum class Provenance : std::uint8_t {
+    kLive = 0,          ///< executed the pipeline prefix on the live blob
+    kShard,             ///< served verbatim from a materialized shard frame
+    kShardCorrupt,      ///< shard frame failed crc; re-served from the live path
+  };
+
   std::uint64_t sample_id = 0;
   std::uint8_t stage = 0;  // pipeline stage of the payload
+  Provenance provenance = Provenance::kLive;
   /// True when the payload is an SJPG-re-encoded image that the client must
   /// decode back to stage `stage` before running the remaining ops.
   bool payload_compressed = false;

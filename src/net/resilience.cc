@@ -23,8 +23,9 @@ Seconds backoff_for(const RetryPolicy& policy, std::uint64_t sample_id, std::uin
 }
 
 ResilientStorageService::ResilientStorageService(StorageService& inner, RetryPolicy policy,
-                                                 MetricsRegistry* metrics)
-    : inner_(inner), policy_(policy), metrics_(metrics) {
+                                                 MetricsRegistry* metrics,
+                                                 obs::TrafficLedger* ledger)
+    : inner_(inner), policy_(policy), metrics_(metrics), ledger_(ledger) {
   SOPHON_CHECK(policy.max_attempts >= 1);
   SOPHON_CHECK(policy.initial_backoff.value() >= 0.0);
   SOPHON_CHECK(policy.multiplier >= 1.0);
@@ -34,6 +35,8 @@ ResilientStorageService::ResilientStorageService(StorageService& inner, RetryPol
     // Pre-register every metric so scrapes see explicit zeros before the
     // first fetch (absent vs. zero is a real distinction for operators).
     static_cast<void>(metrics_->counter("sophon_fetch_attempts"));
+    static_cast<void>(metrics_->counter("sophon_fetch_attempt_bytes"));
+    static_cast<void>(metrics_->counter("sophon_fetch_wasted_bytes"));
     static_cast<void>(metrics_->counter("sophon_fetch_retries"));
     static_cast<void>(metrics_->counter("sophon_fetch_failures"));
     static_cast<void>(metrics_->counter("sophon_fetch_corrupt"));
@@ -55,12 +58,29 @@ FetchResponse ResilientStorageService::fetch(const FetchRequest& request) {
         span.args().retries = static_cast<std::int32_t>(attempt);
         return inner_.fetch(request);
       }();
+      // Every arrived response moved wire bytes, whether or not it is
+      // usable — count them per attempt so retry amplification shows up in
+      // telemetry rather than only the final success's payload.
+      const Bytes arrived = response.wire_bytes();
+      if (metrics_ != nullptr) {
+        metrics_->counter("sophon_fetch_attempt_bytes")
+            .increment(static_cast<std::uint64_t>(arrived.count()));
+      }
       // Frame-validate before handing the payload upward: a response that
       // cannot be deserialised is a corrupt transfer, not a success.
       if (deserialize_sample(response.payload).has_value()) return response;
       corrupt = true;
       corrupt_.increment();
-      if (metrics_ != nullptr) metrics_->counter("sophon_fetch_corrupt").increment();
+      // The corrupt payload is discarded here; no later consumer will see
+      // these bytes, so this is their single ledger recording point.
+      if (ledger_ != nullptr) {
+        ledger_->record(request.sample_id, response.stage, obs::TrafficCause::kRetry, arrived);
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("sophon_fetch_corrupt").increment();
+        metrics_->counter("sophon_fetch_wasted_bytes")
+            .increment(static_cast<std::uint64_t>(arrived.count()));
+      }
     } catch (const FetchError& error) {
       if (!error.retryable()) {
         failures_.increment();

@@ -11,13 +11,16 @@
 //
 // Telemetry (optional, via util/telemetry): sophon_fetch_attempts,
 // sophon_fetch_retries, sophon_fetch_failures, sophon_fetch_corrupt,
-// sophon_fetch_deadline_exceeded counters and the sophon_fetch_backoff
-// latency histogram.
+// sophon_fetch_deadline_exceeded counters, sophon_fetch_attempt_bytes /
+// sophon_fetch_wasted_bytes (every arrived attempt's payload, and the
+// subset discarded as corrupt — so retry amplification is visible, not
+// just final-success traffic) and the sophon_fetch_backoff histogram.
 #pragma once
 
 #include <cstdint>
 
 #include "net/rpc.h"
+#include "obs/ledger.h"
 #include "util/telemetry.h"
 #include "util/units.h"
 
@@ -57,9 +60,12 @@ struct RetryPolicy {
 /// the inner service; the loader's workers share one instance.
 class ResilientStorageService final : public StorageService {
  public:
-  /// Borrows the inner service (and registry, when given); keep them alive.
+  /// Borrows the inner service (and registry/ledger, when given); keep them
+  /// alive. The ledger receives the wire bytes of corrupt-arrived responses
+  /// (cause kRetry) — the bytes no later consumer will ever see.
   ResilientStorageService(StorageService& inner, RetryPolicy policy,
-                          MetricsRegistry* metrics = nullptr);
+                          MetricsRegistry* metrics = nullptr,
+                          obs::TrafficLedger* ledger = nullptr);
 
   /// Fetch with retries. Throws FetchError:
   ///   kPermanent  — inner service failed permanently (no retry attempted),
@@ -77,6 +83,7 @@ class ResilientStorageService final : public StorageService {
   StorageService& inner_;
   RetryPolicy policy_;
   MetricsRegistry* metrics_;
+  obs::TrafficLedger* ledger_;
   Counter retries_;
   Counter failures_;
   Counter corrupt_;

@@ -9,6 +9,7 @@
 // degradation.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -55,6 +56,29 @@ class StorageService {
   /// Serve one fetch, executing the directive's pipeline prefix. May throw
   /// FetchError when the service (or a fault-injecting decorator) fails.
   [[nodiscard]] virtual FetchResponse fetch(const FetchRequest& request) = 0;
+};
+
+/// Wire meter: a transparent decorator counting every response's payload
+/// bytes exactly where they arrive client-side. Sits between the resilience
+/// layer and any fault injector so corrupt/truncated responses are metered
+/// at the size that actually crossed the wire — the ground truth the
+/// traffic ledger reconciles against in the threaded (non-DES) path.
+/// Thread-safe: loader workers and the prefetch scheduler share one meter.
+class MeteringStorageService final : public StorageService {
+ public:
+  explicit MeteringStorageService(StorageService& inner);
+
+  [[nodiscard]] FetchResponse fetch(const FetchRequest& request) override;
+
+  /// Cumulative payload bytes of every response that arrived (including
+  /// responses later judged corrupt and retried).
+  [[nodiscard]] Bytes traffic() const;
+  [[nodiscard]] std::uint64_t responses() const;
+
+ private:
+  StorageService& inner_;
+  std::atomic<std::int64_t> traffic_{0};
+  std::atomic<std::uint64_t> responses_{0};
 };
 
 /// A client channel to a storage service. In-process ("loopback") transport:

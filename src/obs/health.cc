@@ -169,6 +169,16 @@ std::vector<HealthRule> default_health_rules() {
   };
   rules.push_back(std::move(highwater));
 
+  HealthRule ledger;
+  ledger.name = "ledger_unattributed";
+  ledger.help = "Bytes the traffic ledger could not attribute to any cause";
+  ledger.warn = 1.0;               // any gap at all is a books-don't-balance bug
+  ledger.crit = 1024.0 * 1024.0;   // a MiB of drift means attribution is broken
+  ledger.value = [](const HealthSample& s) {
+    return gauge_of(s.total, "sophon_ledger_unattributed_bytes");
+  };
+  rules.push_back(std::move(ledger));
+
   HealthRule link;
   link.name = "link_utilization";
   link.help = "Storage link busy fraction over the last epoch";

@@ -39,6 +39,8 @@ constexpr MetricInfo kTable[] = {
      "Bytes moved over the storage link, accumulated across epochs"},
     {"sophon_epochs_completed", MetricKind::kCounter,
      "Epochs the adaptive run loop has completed"},
+    {"sophon_fetch_attempt_bytes", MetricKind::kCounter,
+     "Wire bytes that arrived across every fetch attempt, retries included"},
     {"sophon_fetch_attempts", MetricKind::kCounter,
      "Sample fetch attempts, including retries"},
     {"sophon_fetch_backoff", MetricKind::kHistogram,
@@ -53,8 +55,32 @@ constexpr MetricInfo kTable[] = {
      "Fetch ladders that exhausted every retry"},
     {"sophon_fetch_retries", MetricKind::kCounter,
      "Fetch attempts that were retries of a failed attempt"},
+    {"sophon_fetch_wasted_bytes", MetricKind::kCounter,
+     "Wire bytes of fetch responses discarded for corruption before a retry"},
     {"sophon_health_state", MetricKind::kGauge,
      "Overall health grade: 0 OK, 1 WARN, 2 CRIT"},
+    {"sophon_ledger_attributed_bytes", MetricKind::kGauge,
+     "Total link bytes the traffic ledger has attributed to a cause"},
+    {"sophon_ledger_control_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to control-plane / RPC overhead"},
+    {"sophon_ledger_demand_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to on-demand sample fetches"},
+    {"sophon_ledger_prefetch_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to prefetches later claimed by the consumer"},
+    {"sophon_ledger_prefetch_wasted_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to prefetches evicted before any claim"},
+    {"sophon_ledger_raw_fallback_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to raw-stage degradation fallbacks"},
+    {"sophon_ledger_records", MetricKind::kCounter,
+     "Attribution records the traffic ledger has accepted"},
+    {"sophon_ledger_retry_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to retried (discarded) fetch attempts"},
+    {"sophon_ledger_shard_corrupt_refetch_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to refetches after a corrupt shard read"},
+    {"sophon_ledger_shard_hit_bytes", MetricKind::kGauge,
+     "Ledger bytes attributed to fetches served from a packed shard"},
+    {"sophon_ledger_unattributed_bytes", MetricKind::kGauge,
+     "Absolute gap between link counters and ledger attribution (0 = byte-exact)"},
     {"sophon_loader_fetch_errors", MetricKind::kCounter,
      "Loader-visible fetch errors after resilience gave up"},
     {"sophon_loader_reorder_highwater", MetricKind::kGauge,

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -49,6 +50,7 @@ Json postmortem_json(const PostmortemSources& sources, const std::string& reason
   if (sources.metrics != nullptr) doc.set("metrics", snapshot_json(sources.metrics->snapshot()));
   if (sources.health != nullptr) doc.set("health", sources.health->to_json());
   if (sources.recorder != nullptr) doc.set("timeseries", sources.recorder->to_json());
+  if (sources.ledger != nullptr) doc.set("traffic_ledger", sources.ledger->to_json());
   if (sources.tracer != nullptr) {
     const std::vector<SpanEvent> all = sources.tracer->drain();
     const std::size_t keep = std::min(sources.max_spans, all.size());

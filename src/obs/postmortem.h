@@ -32,6 +32,7 @@ namespace sophon::obs {
 class FlightRecorder;
 class HealthEvaluator;
 class Tracer;
+class TrafficLedger;
 
 /// Which surfaces feed the dump; any pointer may be null.
 struct PostmortemSources {
@@ -41,6 +42,9 @@ struct PostmortemSources {
   /// Drained best-effort at dump time (quiescence is not guaranteed when
   /// crashing; see file comment).
   Tracer* tracer = nullptr;
+  /// Per-cause traffic attribution; its export rides the dump under
+  /// "traffic_ledger" so a crash still explains where the bytes went.
+  TrafficLedger* ledger = nullptr;
   /// Most recent spans kept in the dump.
   std::size_t max_spans = 512;
 };

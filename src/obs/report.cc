@@ -61,7 +61,14 @@ EpochReport EpochReport::build(
 
   std::map<std::uint32_t, std::string> label_of(labels.begin(), labels.end());
   std::map<std::uint32_t, std::vector<const SpanEvent*>> by_track;
-  for (const auto& span : spans) by_track[span.track].push_back(&span);
+  std::int64_t transfer_bytes = 0;
+  for (const auto& span : spans) {
+    by_track[span.track].push_back(&span);
+    if (span.category == SpanCategory::kTransfer && span.args.bytes >= 0) {
+      transfer_bytes += span.args.bytes;
+    }
+  }
+  report.transfer_bytes_ = Bytes(transfer_bytes);
 
   double transfer_ns = 0.0;
   double gpu_ns = 0.0;
@@ -208,6 +215,7 @@ Json EpochReport::to_json() const {
   }
   doc.set("workers", std::move(workers));
   doc.set("link_busy_seconds", transfer_busy_.value());
+  doc.set("link_bytes", static_cast<std::int64_t>(transfer_bytes_.count()));
   doc.set("storage_prefix_seconds", storage_busy_.value());
   doc.set("gpu_busy_seconds", gpu_busy_.value());
   const auto costs_json = [](const Costs& costs) {

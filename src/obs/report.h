@@ -76,6 +76,12 @@ class EpochReport {
   [[nodiscard]] Seconds gpu_busy() const { return gpu_busy_; }
   [[nodiscard]] Seconds storage_busy() const { return storage_busy_; }
 
+  /// Bytes summed from every kTransfer span's args — the trace's own link
+  /// byte count, reconcilable against sophon_epoch_traffic_bytes and the
+  /// traffic ledger's total (spans whose bytes were never annotated are
+  /// skipped).
+  [[nodiscard]] Bytes transfer_bytes() const { return transfer_bytes_; }
+
   /// Sum over workers of one component.
   [[nodiscard]] Seconds total_fetch_stall() const;
   [[nodiscard]] Seconds total_staging_wait() const;
@@ -107,6 +113,7 @@ class EpochReport {
   Seconds transfer_busy_;
   Seconds gpu_busy_;
   Seconds storage_busy_;
+  Bytes transfer_bytes_;
   Costs predicted_;
   bool has_predicted_ = false;
 };

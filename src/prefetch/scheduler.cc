@@ -15,7 +15,7 @@ PrefetchScheduler::PrefetchScheduler(net::StorageService& service, const core::O
       plan_(plan),
       order_(std::move(order)),
       config_(config),
-      buffer_(config.options, config.metrics) {
+      buffer_(config.options, config.metrics, config.ledger) {
   SOPHON_CHECK_MSG(config_.options.depth > 0, "a zero-depth scheduler is just overhead");
   SOPHON_CHECK(plan_.size() == 0 || plan_.size() >= order_.size());
   if (config_.metrics != nullptr) register_prefetch_metrics(*config_.metrics);
@@ -101,6 +101,20 @@ void PrefetchScheduler::run() {
 
 std::optional<StagingBuffer::Claimed> PrefetchScheduler::claim(std::size_t position) {
   return buffer_.claim(position);
+}
+
+Bytes PrefetchScheduler::invalidate(const core::OffloadPlan& plan) {
+  return buffer_.evict_unclaimed_if(
+      [&](std::size_t position, const net::FetchResponse& response) {
+        const std::uint64_t sample_id = order_[position];
+        const std::uint8_t prefix =
+            plan.size() == 0 ? std::uint8_t{0} : plan.prefix(sample_id);
+        return response.stage != prefix;
+      });
+}
+
+Bytes PrefetchScheduler::shrink_budget(Bytes new_budget) {
+  return buffer_.shrink_budget(new_budget);
 }
 
 void PrefetchScheduler::shutdown() {

@@ -34,6 +34,9 @@ class PrefetchScheduler {
     std::uint64_t epoch = 0;
     std::uint8_t compress_quality = 0;  // applied to offloaded fetches, as in the loader
     MetricsRegistry* metrics = nullptr;
+    /// Optional traffic ledger; staged bytes are recorded at commit and
+    /// reclassified to prefetch-wasted when dropped unclaimed.
+    obs::TrafficLedger* ledger = nullptr;
   };
 
   /// Borrows service/plan/order; keep them alive until shutdown() returns.
@@ -58,6 +61,15 @@ class PrefetchScheduler {
   /// Stop scheduling, cancel staged slots, wake all claim()-blocked
   /// consumers, join the thread. Idempotent; called by the destructor.
   void shutdown();
+
+  /// Replan hook: evict staged-but-unclaimed responses whose stage no
+  /// longer matches `plan`'s prefix for their sample — their bytes become
+  /// prefetch-wasted and the worker demand-fetches under the new plan.
+  /// Returns the evicted byte total.
+  Bytes invalidate(const core::OffloadPlan& plan);
+
+  /// Tighten the staging byte budget mid-epoch (see StagingBuffer).
+  Bytes shrink_budget(Bytes new_budget);
 
   struct Stats {
     std::uint64_t issued = 0;

@@ -7,17 +7,36 @@
 
 namespace sophon::prefetch {
 
-StagingBuffer::StagingBuffer(const PrefetchOptions& options, MetricsRegistry* metrics)
-    : options_(options), metrics_(metrics) {
+namespace {
+
+/// The ledger cause for a staged response: shard-served bytes keep their
+/// storage-side identity; everything else staged ahead of need is prefetch.
+obs::TrafficCause staged_cause(const net::FetchResponse& response) {
+  switch (response.provenance) {
+    case net::FetchResponse::Provenance::kShard:
+      return obs::TrafficCause::kShardHit;
+    case net::FetchResponse::Provenance::kShardCorrupt:
+      return obs::TrafficCause::kShardCorruptRefetch;
+    case net::FetchResponse::Provenance::kLive:
+      break;
+  }
+  return obs::TrafficCause::kPrefetch;
+}
+
+}  // namespace
+
+StagingBuffer::StagingBuffer(const PrefetchOptions& options, MetricsRegistry* metrics,
+                             obs::TrafficLedger* ledger)
+    : options_(options), metrics_(metrics), ledger_(ledger), budget_(options.bytes_budget) {
   if (metrics_ != nullptr) {
-    metrics_->gauge(kBufferBudgetBytes).set(static_cast<double>(options_.bytes_budget.count()));
+    metrics_->gauge(kBufferBudgetBytes).set(static_cast<double>(budget_.count()));
   }
 }
 
 bool StagingBuffer::has_credit(Bytes estimated_bytes) const {
   if (occupied_ >= options_.depth) return false;
-  if (options_.bytes_budget.count() > 0 && occupied_ > 0 &&
-      occupied_bytes_ + estimated_bytes > options_.bytes_budget) {
+  if (budget_.count() > 0 && occupied_ > 0 &&
+      occupied_bytes_ + estimated_bytes > budget_) {
     // The budget never blocks an empty buffer: one oversized sample must
     // still be prefetchable or the scheduler would wedge on it.
     return false;
@@ -60,10 +79,27 @@ StagingBuffer::Reserve StagingBuffer::reserve(std::size_t position, Bytes estima
 void StagingBuffer::commit(std::size_t position, net::FetchResponse response) {
   std::lock_guard lock(mutex_);
   auto it = slots_.find(position);
-  if (it == slots_.end() || it->second.state != State::kInFlight) return;  // raced shutdown
+  if (it == slots_.end() || it->second.state != State::kInFlight) {
+    // Raced shutdown: the bytes crossed the wire but no consumer can ever
+    // claim them — they are waste, recorded directly (not reclassified,
+    // since commit never got to record them under a live cause).
+    if (ledger_ != nullptr) {
+      ledger_->record(response.sample_id, response.stage,
+                      obs::TrafficCause::kPrefetchWasted, response.wire_bytes());
+    }
+    return;
+  }
   occupied_bytes_ -= it->second.bytes;
   it->second.bytes = response.wire_bytes();
   occupied_bytes_ += it->second.bytes;
+  it->second.cause = staged_cause(response);
+  if (ledger_ != nullptr) {
+    // Single recording point for prefetch-path wire bytes: the buffer holds
+    // the response and knows its provenance; claim keeps this cause, every
+    // unclaimed-drop path reclassifies it to prefetch-wasted.
+    ledger_->record(response.sample_id, response.stage, it->second.cause,
+                    response.wire_bytes());
+  }
   it->second.response = std::move(response);
   it->second.ready_at = std::chrono::steady_clock::now();
   it->second.state = State::kReady;
@@ -157,12 +193,86 @@ void StagingBuffer::advance_cursor(std::size_t position) {
   }
 }
 
+std::map<std::size_t, StagingBuffer::Slot>::iterator StagingBuffer::evict_ready_locked(
+    std::map<std::size_t, Slot>::iterator it, Bytes& evicted) {
+  if (ledger_ != nullptr) {
+    ledger_->reclassify(it->second.response.sample_id, it->second.response.stage,
+                        it->second.cause, obs::TrafficCause::kPrefetchWasted, it->second.bytes);
+  }
+  evicted += it->second.bytes;
+  occupied_bytes_ -= it->second.bytes;
+  --occupied_;
+  ++cancelled_;
+  if (metrics_ != nullptr) metrics_->counter(kCancelled).increment();
+  return slots_.erase(it);
+}
+
+Bytes StagingBuffer::evict_unclaimed() {
+  return evict_unclaimed_if([](std::size_t, const net::FetchResponse&) { return true; });
+}
+
+Bytes StagingBuffer::evict_unclaimed_if(
+    const std::function<bool(std::size_t, const net::FetchResponse&)>& pred) {
+  std::lock_guard lock(mutex_);
+  Bytes evicted;
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->second.state == State::kReady && pred(it->first, it->second.response)) {
+      it = evict_ready_locked(it, evicted);
+    } else {
+      ++it;
+    }
+  }
+  if (evicted.count() > 0) {
+    update_gauges_locked();
+    credit_cv_.notify_all();
+  }
+  return evicted;
+}
+
+Bytes StagingBuffer::shrink_budget(Bytes new_budget) {
+  std::lock_guard lock(mutex_);
+  budget_ = new_budget;
+  if (metrics_ != nullptr) {
+    metrics_->gauge(kBufferBudgetBytes).set(static_cast<double>(budget_.count()));
+  }
+  Bytes evicted;
+  if (budget_.count() > 0) {
+    // Drop the consumer's furthest-out staged work first: those positions
+    // have the most time to be re-fetched on demand without a stall.
+    for (auto it = slots_.rbegin();
+         occupied_bytes_ > budget_ && it != slots_.rend();) {
+      if (it->second.state == State::kReady) {
+        auto forward = std::next(it).base();
+        forward = evict_ready_locked(forward, evicted);
+        it = std::make_reverse_iterator(forward);
+      } else {
+        ++it;
+      }
+    }
+  }
+  update_gauges_locked();
+  credit_cv_.notify_all();
+  return evicted;
+}
+
+Bytes StagingBuffer::budget() const {
+  std::lock_guard lock(mutex_);
+  return budget_;
+}
+
 void StagingBuffer::shutdown() {
   std::lock_guard lock(mutex_);
   if (shutdown_) return;
   shutdown_ = true;
   for (const auto& [position, slot] : slots_) {
     if (slot.state == State::kInFlight || slot.state == State::kReady) ++cancelled_;
+    // Ready slots were recorded at commit; dying unclaimed makes their
+    // bytes waste. In-flight slots recorded nothing yet — their racing
+    // commit() records waste directly.
+    if (slot.state == State::kReady && ledger_ != nullptr) {
+      ledger_->reclassify(slot.response.sample_id, slot.response.stage, slot.cause,
+                          obs::TrafficCause::kPrefetchWasted, slot.bytes);
+    }
   }
   if (metrics_ != nullptr && cancelled_ > 0) {
     metrics_->counter(kCancelled).increment(cancelled_);

@@ -18,11 +18,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 
 #include "net/message.h"
+#include "obs/ledger.h"
 #include "prefetch/options.h"
 #include "util/telemetry.h"
 
@@ -30,8 +32,14 @@ namespace sophon::prefetch {
 
 class StagingBuffer {
  public:
-  /// `metrics` is optional; when set it must outlive the buffer.
-  StagingBuffer(const PrefetchOptions& options, MetricsRegistry* metrics);
+  /// `metrics` and `ledger` are optional; when set they must outlive the
+  /// buffer. The buffer is the single recording point for prefetch-path
+  /// wire bytes: commit() records them (cause mapped from the response's
+  /// provenance), and any path that drops a staged-but-unclaimed response
+  /// (evict, shrink, shutdown, commit racing shutdown) reclassifies those
+  /// bytes to prefetch-wasted so the ledger partition stays exact.
+  StagingBuffer(const PrefetchOptions& options, MetricsRegistry* metrics,
+                obs::TrafficLedger* ledger = nullptr);
 
   enum class Reserve {
     kOk,        ///< Slot reserved; caller must commit() or fail() it.
@@ -74,6 +82,27 @@ class StagingBuffer {
   /// Cancel all slots, wake all waiters, refuse further traffic.
   void shutdown();
 
+  /// Evict every ready-but-unclaimed slot (their bytes become
+  /// prefetch-wasted in the ledger). Returns the evicted byte total.
+  /// In-flight fetches are left alone — their commit() decides their fate.
+  Bytes evict_unclaimed();
+
+  /// Evict the ready slots for which `pred(position, response)` returns
+  /// true — the replan hook: a new plan invalidates staged responses whose
+  /// stage no longer matches the plan's prefix for that sample.
+  Bytes evict_unclaimed_if(
+      const std::function<bool(std::size_t, const net::FetchResponse&)>& pred);
+
+  /// Tighten (or relax) the byte budget mid-epoch. When the new budget is
+  /// below current occupancy, ready slots are evicted highest-position-first
+  /// (the ones the consumer needs last) until occupancy fits. Returns the
+  /// evicted byte total.
+  Bytes shrink_budget(Bytes new_budget);
+
+  /// The currently effective byte budget (options_.bytes_budget until
+  /// shrink_budget changes it).
+  [[nodiscard]] Bytes budget() const;
+
   // Introspection (tests, scheduler stats).
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t late_hits() const;
@@ -89,14 +118,22 @@ class StagingBuffer {
     Bytes bytes;  // estimate while in flight, real payload size once ready
     net::FetchResponse response;
     std::chrono::steady_clock::time_point ready_at;  // set by commit()
+    /// Ledger cause the bytes were recorded under at commit() (kReady only).
+    obs::TrafficCause cause = obs::TrafficCause::kPrefetch;
   };
 
   // All helpers below require `mutex_` held.
   [[nodiscard]] bool has_credit(Bytes estimated_bytes) const;
   void update_gauges_locked();
+  /// Evict one ready slot: reclassify its bytes to prefetch-wasted, count
+  /// it cancelled, release its credit. Returns the next iterator.
+  std::map<std::size_t, Slot>::iterator evict_ready_locked(
+      std::map<std::size_t, Slot>::iterator it, Bytes& evicted);
 
   const PrefetchOptions options_;
   MetricsRegistry* metrics_;
+  obs::TrafficLedger* ledger_;
+  Bytes budget_;  // effective byte budget; starts at options_.bytes_budget
 
   mutable std::mutex mutex_;
   std::condition_variable credit_cv_;  // scheduler waits for a free credit

@@ -158,12 +158,14 @@ std::function<SampleFlow(std::size_t)> faulty_flow(std::function<SampleFlow(std:
                                                    const net::FaultInjector& faults,
                                                    const net::RetryPolicy& retry,
                                                    std::size_t epoch_index,
-                                                   FaultReplayStats* stats) {
+                                                   FaultReplayStats* stats,
+                                                   obs::TrafficLedger* ledger) {
   SOPHON_CHECK(retry.max_attempts >= 1);
   // `faults` is borrowed: the caller keeps it alive while the flow is used.
   return [flow = std::move(flow), raw_flow = std::move(raw_flow), &faults, retry, epoch_index,
-          stats](std::size_t idx) -> SampleFlow {
+          stats, ledger](std::size_t idx) -> SampleFlow {
     SampleFlow f = flow(idx);
+    const Bytes clean_wire = f.wire;  // before retry waste is folded in
     const bool offloaded = f.storage_cpu.value() > 0.0;
     Seconds backoff_delay;
     Bytes wasted_wire;
@@ -200,6 +202,13 @@ std::function<SampleFlow(std::size_t)> faulty_flow(std::function<SampleFlow(std:
       f.delay += backoff_delay;
       f.wire += wasted_wire;
       f.storage_cpu += wasted_cpu;
+      if (ledger != nullptr) {
+        // Cause decomposition of the fattened wire total: the successful
+        // attempt's payload is demand, the corrupt attempts' replays are
+        // retry. Sums to f.wire exactly.
+        ledger->record(idx, f.stage, obs::TrafficCause::kDemand, clean_wire);
+        ledger->record(idx, f.stage, obs::TrafficCause::kRetry, wasted_wire);
+      }
       return f;
     }
     // The offloaded fetch is beyond saving: replay the loader's graceful
@@ -207,6 +216,15 @@ std::function<SampleFlow(std::size_t)> faulty_flow(std::function<SampleFlow(std:
     // paid. A non-offloaded sample has nothing to demote to; count it
     // failed but keep the epoch moving (the sim has no error channel).
     SampleFlow demoted = offloaded ? raw_flow(idx) : f;
+    if (ledger != nullptr) {
+      // A demoted offloaded sample ships the raw payload (the degradation
+      // ladder's cost); a non-offloaded sample that failed outright still
+      // shipped its demand payload in the DES (no error channel).
+      ledger->record(idx, demoted.stage,
+                     offloaded ? obs::TrafficCause::kRawFallback : obs::TrafficCause::kDemand,
+                     demoted.wire);
+      ledger->record(idx, f.stage, obs::TrafficCause::kRetry, wasted_wire);
+    }
     demoted.delay += backoff_delay;
     demoted.wire += wasted_wire;
     demoted.storage_cpu += wasted_cpu;
@@ -238,6 +256,7 @@ EpochStats simulate_epoch(const dataset::Catalog& catalog, const pipeline::Pipel
         prefix > 0 ? pipeline.prefix_cost(meta.raw, prefix, cost_model) : Seconds(0.0);
     f.wire = net::wire_size(pipeline.shape_at(meta.raw, prefix));
     f.compute_cpu = pipeline.suffix_cost(meta.raw, prefix, cost_model);
+    f.stage = static_cast<std::uint8_t>(prefix);
     return f;
   };
   return simulate_epoch_flows(catalog.size(), flow, cluster, gpu_batch_time, seed, epoch_index);

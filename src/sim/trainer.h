@@ -20,6 +20,7 @@
 
 #include "dataset/catalog.h"
 #include "dataset/sampler.h"
+#include "obs/ledger.h"
 #include "pipeline/cost_model.h"
 #include "pipeline/pipeline.h"
 #include "sim/cluster.h"
@@ -58,6 +59,10 @@ struct SampleFlow {
   /// Idle stall charged before the sample enters the pipeline (e.g. retry
   /// backoff replayed from a fault trace). Occupies no resource.
   Seconds delay;
+  /// Pipeline stage of the payload on the wire (the offload prefix; 0 =
+  /// raw). Pure annotation — the DES ignores it; the traffic ledger uses it
+  /// to attribute wire bytes per stage.
+  std::uint8_t stage = 0;
 };
 
 /// Generic epoch simulation over arbitrary per-sample flows. `flow(i)` must
@@ -113,12 +118,17 @@ struct FaultReplayStats {
 /// corrupt attempts additionally waste a full payload's wire bytes and
 /// storage CPU; a permanent fault (retry budget useless) demotes the sample
 /// to `raw_flow` — the loader's graceful degradation. `stats` (optional)
-/// accumulates the impact; reset it between epochs. The returned flow is
-/// pure per index, so it composes with any simulate_epoch_* entry point.
+/// accumulates the impact; reset it between epochs. The returned flow is a
+/// pure function of the index for its *return value*, so it composes with
+/// any simulate_epoch_* entry point; `ledger` (optional) is a side channel
+/// that attributes the sample's wire bytes per cause (corrupt-attempt bytes
+/// as retry, demoted samples as raw-fallback, the rest as demand) — wire a
+/// ledger only into entry points that call the flow exactly once per sample
+/// (simulate_epoch_flows does; prefetch::replay_epoch calls it twice).
 [[nodiscard]] std::function<SampleFlow(std::size_t)> faulty_flow(
     std::function<SampleFlow(std::size_t)> flow, std::function<SampleFlow(std::size_t)> raw_flow,
     const net::FaultInjector& faults, const net::RetryPolicy& retry, std::size_t epoch_index,
-    FaultReplayStats* stats = nullptr);
+    FaultReplayStats* stats = nullptr, obs::TrafficLedger* ledger = nullptr);
 
 /// Average several consecutive epochs (fresh shuffles, same assignment).
 [[nodiscard]] EpochStats simulate_epochs(const dataset::Catalog& catalog,

@@ -128,6 +128,9 @@ net::FetchResponse StorageServer::fetch(const net::FetchRequest& request) {
   net::FetchResponse response;
   response.sample_id = request.sample_id;
   response.stage = static_cast<std::uint8_t>(prefix);
+  response.provenance = from_shard ? net::FetchResponse::Provenance::kShard
+                        : corrupt  ? net::FetchResponse::Provenance::kShardCorrupt
+                                   : net::FetchResponse::Provenance::kLive;
   if (shard_direct) {
     response.payload = std::move(direct_frame);
     return response;

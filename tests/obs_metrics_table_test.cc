@@ -17,6 +17,7 @@
 #include "net/fault.h"
 #include "net/resilience.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/metrics_table.h"
 #include "obs/timeseries.h"
 #include "shard/format.h"
@@ -81,13 +82,17 @@ void populate_full_run(MetricsRegistry& metrics) {
   const auto reader = shard::ShardReader::open(shard_path);
   ASSERT_TRUE(reader.has_value());
 
+  // Traffic ledger on the real fetch path: its sophon_ledger_* gauges and
+  // record counter must be governed by the table like everything else.
+  TrafficLedger loader_ledger({.top_k = 8, .metrics = &metrics});
+
   {
     storage::StorageServer server{store, pipe, cm,
                                   {.seed = 42, .metrics = &metrics, .shard = &*reader}};
     FirstAttemptFails flaky(server);
     net::RetryPolicy policy;
     policy.sleep = false;
-    net::ResilientStorageService resilient(flaky, policy, &metrics);
+    net::ResilientStorageService resilient(flaky, policy, &metrics, &loader_ledger);
 
     loader::DataLoader::Options options;
     options.num_workers = 2;
@@ -95,12 +100,14 @@ void populate_full_run(MetricsRegistry& metrics) {
     options.seed = 42;
     options.epoch = 5;
     options.metrics = &metrics;
+    options.ledger = &loader_ledger;
     options.prefetch.depth = 8;
     loader::DataLoader loader(resilient, pipe, plan, catalog.size(), options);
     loader.start();
     std::size_t count = 0;
     while (loader.next()) ++count;
     ASSERT_EQ(count, catalog.size());
+    loader_ledger.publish_metrics();
   }
   std::filesystem::remove(shard_path);
 
@@ -118,6 +125,7 @@ void populate_full_run(MetricsRegistry& metrics) {
 
   FlightRecorder recorder(metrics);
   HealthEvaluator health(default_health_rules());
+  TrafficLedger sim_ledger({.top_k = 8, .metrics = &metrics});
   core::adapt::RunOptions options;
   options.epochs = 6;
   options.faults = &faults;
@@ -128,6 +136,7 @@ void populate_full_run(MetricsRegistry& metrics) {
   options.telemetry.metrics = &metrics;
   options.telemetry.recorder = &recorder;
   options.telemetry.health = &health;
+  options.telemetry.ledger = &sim_ledger;
   const auto result = core::adapt::run_adaptive(big, pipe, cm, planned, Seconds(1.0), options);
   ASSERT_EQ(result.rows.size(), 6u);
   ASSERT_GT(health.evaluations(), 0u);
@@ -156,6 +165,9 @@ TEST(MetricsTableDrift, EveryEmittedNameIsPreRegistered) {
   EXPECT_GT(snap.counters.count("sophon_prefetch_issued"), 0u);
   EXPECT_GT(snap.counters.count("sophon_epochs_completed"), 0u);
   EXPECT_GT(snap.gauges.count("sophon_health_state"), 0u);
+  EXPECT_GT(snap.counters.count("sophon_fetch_attempt_bytes"), 0u);
+  EXPECT_GT(snap.counters.count("sophon_ledger_records"), 0u);
+  EXPECT_GT(snap.gauges.count("sophon_ledger_unattributed_bytes"), 0u);
 
   for (const auto& [name, value] : snap.counters) expect_known(name, MetricKind::kCounter);
   for (const auto& [name, value] : snap.gauges) expect_known(name, MetricKind::kGauge);

@@ -180,6 +180,13 @@ TEST(EpochReport, ReplayReconciliationWithinOnePercent) {
   within_1pct(report.total_preprocess(), result.epoch.compute_cpu_busy);
   // Link-track transfer spans == the FIFO link's busy time for the traffic.
   within_1pct(report.transfer_busy(), cluster.bandwidth.transfer_time(result.epoch.traffic));
+  // Byte drift is held to zero, not 1%: the transfer spans carry exact byte
+  // args, so their sum must equal the replay's own traffic counter (and the
+  // known per-sample wire size) to the byte — the same ground truth the
+  // traffic ledger reconciles against.
+  EXPECT_EQ(report.transfer_bytes().count(), result.epoch.traffic.count());
+  EXPECT_EQ(report.transfer_bytes().count(),
+            static_cast<std::int64_t>(kSamples) * wire.count());
   // GPU-track spans == the trainer's GPU service total.
   within_1pct(report.gpu_busy(), result.epoch.gpu_busy);
   // Fetch stalls + staging waits == the replay's own worker-stall counter.

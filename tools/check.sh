@@ -25,6 +25,13 @@
 #                             mention a flag the binary no longer has, or the
 #                             binary grows a flag/command the docs omit. Also
 #                             runs as part of the default check.
+#   tools/check.sh --ledger-smoke
+#                             build sophonctl, run a short adaptive simulation
+#                             with the traffic ledger enabled, render the
+#                             export with traffic-report, and traffic-diff it
+#                             against itself with --expect-zero — the
+#                             round-trip proof that export → parse → diff is
+#                             lossless and a run diffs clean against itself.
 #   tools/check.sh --bench-regress
 #                             re-run the ablations that commit BENCH_*.json
 #                             artifacts (prefetch, adapt, materialize) in a
@@ -50,7 +57,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # ctest switches, generic placeholders) — those live on the allowlist.
 check_docs() {
   local help flags_help flags_docs commands missing stale ok=0
-  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|bench-regress|build|target|test-dir|output-on-failure|key)$'
+  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|bench-regress|ledger-smoke|build|target|test-dir|output-on-failure|key)$'
   help=$(build/tools/sophonctl help)
 
   flags_help=$(printf '%s\n' "$help" | grep -oE '^\s*--[a-z][a-z0-9-]*' | tr -d ' ' | sort -u)
@@ -115,6 +122,18 @@ elif [[ "${1:-}" == "--trace-smoke" ]]; then
   build/tools/sophonctl simulate --dataset openimages --samples 500 --mbps 100 \
     --prefetch-depth 8 --workers 4 --trace-out="$tmp/trace.json" --report
   build/tools/sophonctl validate-trace --in "$tmp/trace.json"
+elif [[ "${1:-}" == "--ledger-smoke" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target sophonctl
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  build/tools/sophonctl simulate --dataset openimages --samples 500 --mbps 100 \
+    --adapt --epochs 4 --bw-drop-factor 4 --bw-drop-epoch 2 \
+    --ledger-out "$tmp/ledger.json"
+  build/tools/sophonctl traffic-report --in "$tmp/ledger.json"
+  build/tools/sophonctl traffic-diff --a "$tmp/ledger.json" --b "$tmp/ledger.json" \
+    --expect-zero
+  echo "ledger-smoke OK: export round-trips and diffs clean against itself"
 elif [[ "${1:-}" == "--docs" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target sophonctl
@@ -136,7 +155,7 @@ elif [[ "${1:-}" == "--bench-regress" ]]; then
   done
   echo "bench-regress OK: prefetch, adapt, materialize match the committed artifacts"
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs|--bench-regress]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs|--ledger-smoke|--bench-regress]" >&2
   exit 2
 else
   cmake -B build -S .

@@ -51,6 +51,7 @@
 #include "net/resilience.h"
 #include "net/wire.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "obs/metrics_table.h"
 #include "obs/postmortem.h"
 #include "obs/replay_trace.h"
@@ -345,6 +346,17 @@ int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
   options.telemetry.health = &health;
   options.telemetry.sample_interval = Seconds(flags.number("sample-interval", 0.0));
 
+  // The traffic ledger is opt-in (--ledger-out): when absent the run loop
+  // carries a null pointer and spends nothing on attribution.
+  const auto ledger_out = flags.str("ledger-out", "");
+  std::unique_ptr<obs::TrafficLedger> ledger;
+  if (!ledger_out.empty()) {
+    obs::TrafficLedger::Options ledger_options;
+    ledger_options.metrics = &metrics;
+    ledger = std::make_unique<obs::TrafficLedger>(ledger_options);
+    options.telemetry.ledger = ledger.get();
+  }
+
   std::unique_ptr<obs::TelemetryServer> server;
   if (flags.flag("telemetry-port")) {
     obs::TelemetryServerOptions server_options;
@@ -365,6 +377,7 @@ int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
   sources.metrics = &metrics;
   sources.recorder = &recorder;
   sources.health = &health;
+  sources.ledger = ledger.get();
   std::unique_ptr<obs::PostmortemGuard> guard;
   if (!postmortem_out.empty()) {
     guard = std::make_unique<obs::PostmortemGuard>(postmortem_out, sources);
@@ -411,6 +424,15 @@ int cmd_simulate_adaptive(const Flags& flags, const dataset::Catalog& catalog,
   std::printf("%s", table.render().c_str());
   std::printf("re-plans accepted: %zu | final plan offloads %zu of %zu samples\n",
               result.replans, result.final_plan->offloaded_count(), catalog.size());
+  if (ledger != nullptr) {
+    const auto exported = ledger->export_state();
+    std::printf("%s", obs::render_traffic_report(exported).c_str());
+    if (!core::save_json_file(exported.to_json(), ledger_out)) {
+      std::fprintf(stderr, "cannot write %s\n", ledger_out.c_str());
+      return 1;
+    }
+    std::printf("wrote traffic ledger to %s\n", ledger_out.c_str());
+  }
   if (options.adapt) std::printf("%s", metrics.expose().c_str());
   if (server != nullptr) server->stop();
 
@@ -1054,6 +1076,36 @@ int cmd_inspect_shard(const Flags& flags) {
   return 0;
 }
 
+std::optional<obs::LedgerExport> load_ledger(const std::string& path) {
+  const auto doc = core::load_json_file(path);
+  auto exported = doc ? obs::LedgerExport::from_json(*doc) : std::nullopt;
+  if (!exported) {
+    std::fprintf(stderr, "%s is not a valid traffic-ledger export\n", path.c_str());
+  }
+  return exported;
+}
+
+int cmd_traffic_report(const Flags& flags) {
+  const auto exported = load_ledger(flags.required("in"));
+  if (!exported) return 1;
+  std::printf("%s", obs::render_traffic_report(*exported).c_str());
+  return 0;
+}
+
+int cmd_traffic_diff(const Flags& flags) {
+  const auto a = load_ledger(flags.required("a"));
+  const auto b = load_ledger(flags.required("b"));
+  if (!a || !b) return 1;
+  const auto diff = obs::diff_ledgers(*a, *b);
+  std::printf("%s", obs::render_traffic_diff(diff).c_str());
+  if (flags.flag("expect-zero") && !diff.identical()) {
+    std::fprintf(stderr, "expected byte-identical ledgers, total delta %lld bytes\n",
+                 static_cast<long long>(diff.total_delta()));
+    return 1;
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // Command table: the single source of truth for dispatch, help output, and
 // flag validation. tools/check.sh --docs diffs `sophonctl help` against
@@ -1135,6 +1187,8 @@ const std::vector<CommandSpec>& commands() {
             {"sample-interval", "X", "wall-clock flight-recorder sampling period in seconds"},
             {"postmortem-out", "FILE", "write a postmortem dump on kill or fault exhaustion"},
             {"monitor-self", "", "scrape our own telemetry endpoint at every epoch boundary"},
+            {"ledger-out", "FILE", "attribute every link byte to a cause and write the "
+                                   "traffic-ledger export (--adapt runs)"},
             {"shard-budget-mib", "N",
              "materialize deterministic prefixes under this disk budget and re-rank "
              "(0 = unlimited)"}},
@@ -1181,6 +1235,14 @@ const std::vector<CommandSpec>& commands() {
         {"candidate", "FILE", "freshly produced artifact to check (required)"},
         {"tolerance", "X", "max relative drift per numeric field (default 0.05)"}},
        cmd_bench_compare},
+      {"traffic-report", "render a traffic-ledger export: per-cause, per-stage, plan savings",
+       {{"in", "FILE", "ledger JSON from simulate --ledger-out (required)"}},
+       cmd_traffic_report},
+      {"traffic-diff", "compare two traffic-ledger exports, causes ranked by byte delta",
+       {{"a", "FILE", "baseline ledger export (required)"},
+        {"b", "FILE", "candidate ledger export (required)"},
+        {"expect-zero", "", "fail unless the two ledgers are byte-identical"}},
+       cmd_traffic_diff},
   };
   return kCommands;
 }
@@ -1247,7 +1309,7 @@ void usage() {
                "usage: sophonctl <command> [flags]\n"
                "commands: gen-profiles | decide | simulate | evaluate | ingest | pack | "
                "inspect-shard | calibrate | trace | validate-trace | monitor | "
-               "bench-compare | help\n");
+               "bench-compare | traffic-report | traffic-diff | help\n");
 }
 
 }  // namespace
