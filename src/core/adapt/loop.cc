@@ -12,6 +12,7 @@
 #include "core/decision.h"
 #include "core/profiler.h"
 #include "net/wire.h"
+#include "obs/critpath/monitor.h"
 #include "obs/health.h"
 #include "obs/ledger.h"
 #include "obs/metrics_table.h"
@@ -143,6 +144,20 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
         return f;
       };
     }
+    // Capture the demands the DES is about to schedule so the critical-path
+    // analyzer can re-time this exact epoch. The wrapper is outermost — after
+    // the fault/ledger wraps above — so captured demands include retry
+    // penalties and the ledger is not charged twice. Safe because
+    // simulate_epoch_flows calls the flow exactly once per sample.
+    std::vector<obs::critpath::SampleDemand> demands;
+    if (telemetry.critpath != nullptr) {
+      demands.resize(catalog.size());
+      flow = [inner = std::move(flow), &demands](std::size_t i) {
+        const auto f = inner(i);
+        demands[i] = obs::critpath::SampleDemand{f.storage_cpu, f.compute_cpu, f.wire, f.delay};
+        return f;
+      };
+    }
     if (telemetry.ledger != nullptr && replanner.generation() != forecast_noted_generation) {
       forecast_noted_generation = replanner.generation();
       if (const auto& forecast = lease->traffic_forecast()) {
@@ -181,6 +196,20 @@ RunResult run_adaptive(const dataset::Catalog& catalog, const pipeline::Pipeline
       // so the freshly published sophon_ledger_unattributed_bytes gauge is
       // part of the snapshot the health rules see.
       telemetry.ledger->end_epoch(epoch, stats.traffic, row.plan_generation);
+    }
+
+    if (telemetry.critpath != nullptr) {
+      // Re-time the finished epoch before the health pass below so the
+      // bottleneck_migrated rule evaluates against fresh critpath metrics.
+      obs::critpath::EpochParams params;
+      params.cluster = actual;
+      params.gpu_batch_time = gpu_batch_time;
+      params.seed = options.seed;
+      params.epoch_index = epoch;
+      params.num_samples = catalog.size();
+      params.discipline = obs::critpath::Discipline::kBatchWindow;
+      telemetry.critpath->observe_epoch(
+          [&demands](std::size_t i) { return demands[i]; }, params, stats.epoch_time);
     }
 
     if (telemetry.metrics != nullptr) {

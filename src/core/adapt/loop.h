@@ -29,6 +29,10 @@ class HealthEvaluator;
 class TrafficLedger;
 }  // namespace sophon::obs
 
+namespace sophon::obs::critpath {
+class CritPathMonitor;
+}  // namespace sophon::obs::critpath
+
 namespace sophon::core::adapt {
 
 /// One epoch of an adaptive (or static) run.
@@ -69,6 +73,12 @@ struct TelemetryHooks {
   /// table. Construct the ledger with the same registry as `metrics` so
   /// the ledger_unattributed health rule sees its gauge.
   obs::TrafficLedger* ledger = nullptr;
+  /// Critical-path analyzer (obs/critpath/monitor.h): when present, each
+  /// epoch's per-sample demands are captured and re-timed at the boundary,
+  /// publishing the sophon_critpath_* blame gauges and the bottleneck
+  /// migration counter before the health rules run — so re-planning and the
+  /// bottleneck_migrated rule can consult the blame vector.
+  obs::critpath::CritPathMonitor* critpath = nullptr;
   /// Called after the boundary's metrics/recorder/health updates.
   std::function<void(const EpochRow&)> on_epoch;
   /// Wall-clock period of the background recorder sampler; <= 0 disables.

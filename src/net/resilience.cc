@@ -113,7 +113,7 @@ FetchResponse ResilientStorageService::fetch(const FetchRequest& request) {
       metrics_->histogram("sophon_fetch_backoff").observe(backoff);
     }
     if (policy_.sleep && backoff.value() > 0.0) {
-      obs::Span span(obs::SpanCategory::kFetch, "retry_backoff");
+      obs::Span span(obs::SpanCategory::kRetry, "retry_backoff");
       span.args().sample = static_cast<std::int64_t>(request.sample_id);
       span.args().retries = static_cast<std::int32_t>(attempt + 1);
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff.value()));

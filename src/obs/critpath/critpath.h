@@ -1,0 +1,145 @@
+// Critical-path analysis of a completed simulated epoch.
+//
+// The stall reports (obs/report.h) answer "where did each worker's time
+// go?" in aggregate; once the pipeline overlaps fetch, transfer, and
+// preprocessing, aggregate busy fractions no longer say which resource to
+// buy — a link that is 90% busy off the critical path costs nothing. The
+// analyzer here re-times an epoch's per-sample resource demands under the
+// *exact* scheduling equations of the discrete-event trainers
+// (sim::simulate_epoch_flows for the batch-window loader,
+// prefetch::replay_epoch for worker-lane replay with clairvoyant prefetch),
+// but builds the full dependency DAG while doing so: every scheduling event
+// records which predecessor event made it wait — the admission window, the
+// previous transfer on the FIFO link, the earliest-free CPU core, the GPU's
+// previous batch, an injected retry/backoff delay.
+//
+// Walking parents back from the final GPU completion yields the epoch
+// critical path: a chain of edges that tiles [0, epoch_time] exactly, each
+// edge charged to one resource. Summing edge lengths per resource is the
+// *blame vector* — the seconds each resource contributed to the epoch, the
+// quantity that tells you which knob to turn. Because the retimer mirrors
+// the simulator's arithmetic operation-for-operation, the path end time
+// reconciles with the simulator's epoch time to float rounding (the
+// analyzer hard-fails tests at 1%, and in practice agrees to ~1e-12).
+//
+// whatif.h builds on this: perturb the resource parameters, re-time, and
+// the projected epoch times are as trustworthy as the simulator itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prefetch/replay.h"
+#include "sim/cluster.h"
+#include "util/json.h"
+#include "util/units.h"
+
+namespace sophon::obs::critpath {
+
+/// What a critical-path edge waited on. kStart is the epoch origin (root
+/// node only); kDelay is injected pre-pipeline stall (retry backoff under
+/// fault replay), which occupies no physical resource.
+enum class Resource : std::uint8_t {
+  kStart = 0,
+  kStorageCpu = 1,
+  kLink = 2,
+  kComputeCpu = 3,
+  kGpu = 4,
+  kDelay = 5,
+};
+
+[[nodiscard]] std::string_view resource_name(Resource resource);
+
+/// One sample's resource demands — the same currency as sim::SampleFlow,
+/// minus the annotations the retimer does not need. Under fault replay,
+/// capture the demands *after* sim::faulty_flow fattened them (delay holds
+/// the backoff, wire the corrupt-attempt waste) so the retimer replays the
+/// same epoch the simulator ran.
+struct SampleDemand {
+  Seconds storage_cpu;
+  Seconds compute_cpu;
+  Bytes wire;
+  Seconds delay;
+};
+
+/// Maps a catalog sample index to its demands. Must be pure: the worker-lane
+/// retimer, like prefetch::replay_epoch, consults a sample more than once.
+using DemandFn = std::function<SampleDemand(std::size_t index)>;
+
+/// Which discrete-event discipline produced the epoch being analyzed.
+enum class Discipline : std::uint8_t {
+  /// sim::simulate_epoch_flows — batch-window admission, no worker lanes.
+  kBatchWindow = 0,
+  /// prefetch::replay_epoch — W synchronous workers + clairvoyant prefetch.
+  kWorkerReplay = 1,
+};
+
+/// Everything the retimer needs to replay an epoch's schedule.
+struct EpochParams {
+  sim::ClusterConfig cluster;
+  Seconds gpu_batch_time;
+  std::uint64_t seed = 42;
+  std::size_t epoch_index = 0;
+  std::size_t num_samples = 0;
+  Discipline discipline = Discipline::kBatchWindow;
+  /// Worker-lane parameters (kWorkerReplay only): workers, prefetch depth /
+  /// byte budget / admission inputs, cache-served sample predicate.
+  prefetch::ReplayOptions replay;
+};
+
+/// Seconds each resource contributed to the critical path. The components
+/// sum to the epoch time exactly (the path tiles [0, epoch_time]).
+struct BlameVector {
+  Seconds storage_cpu;
+  Seconds link;
+  Seconds compute_cpu;
+  Seconds gpu;
+  Seconds delay;
+
+  [[nodiscard]] Seconds total() const {
+    return storage_cpu + link + compute_cpu + gpu + delay;
+  }
+  [[nodiscard]] Seconds of(Resource resource) const;
+  Seconds& slot(Resource resource);
+  /// Largest component; ties resolve link > gpu > storage > compute > delay,
+  /// mirroring EpochReport::bottleneck_of's net-first order.
+  [[nodiscard]] Resource dominant() const;
+};
+
+/// One edge of the critical path, in forward time order. begin == the
+/// previous segment's end; the first segment begins at 0 and the last ends
+/// at the epoch time.
+struct PathSegment {
+  Resource via = Resource::kStart;
+  Seconds begin;
+  Seconds end;
+  std::int64_t sample = -1;    ///< catalog sample id (-1 for GPU batch edges)
+  std::int64_t position = -1;  ///< epoch position (GPU edges: closing position)
+};
+
+/// The analyzer's output for one epoch.
+struct Analysis {
+  Seconds epoch_time;          ///< re-timed epoch end (== blame.total())
+  BlameVector blame;
+  Seconds observed_epoch_time; ///< what the real run measured (0 = not given)
+  /// |retimed - observed| / observed; ~1e-12 when demands were captured
+  /// faithfully. Anything near 1% means the inputs drifted from the run.
+  double reconcile_error = 0.0;
+  std::size_t nodes = 0;       ///< dependency-DAG size
+  std::vector<PathSegment> path;  ///< zero-length edges elided
+
+  [[nodiscard]] Resource bottleneck() const { return blame.dominant(); }
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Re-time one epoch and decompose its critical path. `observed_epoch_time`
+/// is the simulator's (or run's) own epoch time for the reconcile check;
+/// pass zero to skip it.
+[[nodiscard]] Analysis analyze_epoch(const DemandFn& demand, const EpochParams& params,
+                                     Seconds observed_epoch_time = Seconds(0.0));
+
+}  // namespace sophon::obs::critpath

@@ -1,0 +1,43 @@
+// Epoch-boundary bridge between the critical-path analyzer and the live
+// telemetry plane: runs analyze_epoch on each completed epoch's captured
+// demands, publishes the blame vector as sophon_critpath_* gauges, and
+// counts bottleneck *migrations* — the mid-run resource handoffs (link ->
+// gpu after a replan, gpu -> link after a bandwidth drop) that the
+// bottleneck_migrated health rule turns into WARN/CRIT.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "obs/critpath/critpath.h"
+#include "util/telemetry.h"
+
+namespace sophon::obs::critpath {
+
+class CritPathMonitor {
+ public:
+  /// `metrics` is borrowed and may be null (analysis still runs; nothing is
+  /// published). Not thread-safe: call from the run loop's epoch boundary.
+  explicit CritPathMonitor(MetricsRegistry* metrics = nullptr) : metrics_(metrics) {}
+
+  /// Analyze one completed epoch and publish. `observed_epoch_time` is the
+  /// run's own measurement for the reconcile gauge.
+  const Analysis& observe_epoch(const DemandFn& demand, const EpochParams& params,
+                                Seconds observed_epoch_time);
+
+  [[nodiscard]] std::size_t epochs() const { return epochs_; }
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] const std::optional<Analysis>& last() const { return last_; }
+  /// Dominant resource of the most recent epoch (kStart before any epoch).
+  [[nodiscard]] Resource bottleneck() const {
+    return last_ ? last_->bottleneck() : Resource::kStart;
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  std::optional<Analysis> last_;
+  std::size_t epochs_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace sophon::obs::critpath

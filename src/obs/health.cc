@@ -179,6 +179,16 @@ std::vector<HealthRule> default_health_rules() {
   };
   rules.push_back(std::move(ledger));
 
+  HealthRule migrated;
+  migrated.name = "bottleneck_migrated";
+  migrated.help = "Critical-path bottleneck migrations in the interval";
+  migrated.warn = 1.0;  // one handoff is worth a look (did a replan cause it?)
+  migrated.crit = 3.0;  // repeated handoffs mean the system is oscillating
+  migrated.value = [](const HealthSample& s) {
+    return counter_of(s.delta, "sophon_critpath_bottleneck_migrations");
+  };
+  rules.push_back(std::move(migrated));
+
   HealthRule link;
   link.name = "link_utilization";
   link.help = "Storage link busy fraction over the last epoch";

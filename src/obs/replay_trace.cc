@@ -16,12 +16,18 @@ bool is_cache_hit(const sim::SampleTimeline& row) {
   return !row.prefetched && row.wire.count() == 0 && row.link_done <= row.claimed;
 }
 
+std::uint64_t virtual_ns(Seconds t) {
+  return static_cast<std::uint64_t>(std::max(0.0, t.value()) * 1e9);
+}
+
 }  // namespace
 
-void build_replay_trace(const std::vector<sim::SampleTimeline>& rows, const SampleCostFn& costs,
-                        Tracer& tracer) {
-  if (!tracer.enabled()) return;
+std::vector<TraceFlow> build_replay_trace(const std::vector<sim::SampleTimeline>& rows,
+                                          const SampleCostFn& costs, Tracer& tracer) {
+  std::vector<TraceFlow> flows;
+  if (!tracer.enabled()) return flows;
 
+  const std::uint32_t prefetch_track = tracer.track("prefetch");
   std::vector<std::uint32_t> worker_tracks;
   const auto worker_track = [&](std::int32_t worker) {
     const auto index = static_cast<std::size_t>(worker);
@@ -57,12 +63,34 @@ void build_replay_trace(const std::vector<sim::SampleTimeline>& rows, const Samp
           tracer.record_at(track, SpanCategory::kStagingWait, "staging_wait", row.claimed,
                            row.link_done, args);
         }
+        // The issue->claim dependency as a visible span on the prefetch
+        // scheduler's track plus a flow arrow to the consuming worker.
+        tracer.record_at(prefetch_track, SpanCategory::kOther, "prefetch_issue", row.issued,
+                         row.link_done, args);
+        TraceFlow flow;
+        flow.id = static_cast<std::uint64_t>(row.position) + 1;
+        flow.name = "prefetch";
+        flow.from_track = prefetch_track;
+        flow.from_ns = virtual_ns(row.issued);
+        flow.to_track = track;
+        flow.to_ns = virtual_ns(std::max(row.claimed, row.link_done));
+        flows.push_back(std::move(flow));
       } else {
         // Demand: the worker runs the whole round trip synchronously.
         tracer.record_at(track, SpanCategory::kFetch, "fetch", row.claimed, row.link_done, args);
         if (row.issued > row.claimed) {
-          tracer.record_at(track, SpanCategory::kFetch, "retry_backoff", row.claimed, row.issued,
+          tracer.record_at(track, SpanCategory::kRetry, "retry_backoff", row.claimed, row.issued,
                            args);
+          // Arrow from the moment the backoff ladder released the final
+          // (successful) attempt to that attempt's completed fetch.
+          TraceFlow flow;
+          flow.id = (std::uint64_t{1} << 32) + static_cast<std::uint64_t>(row.position);
+          flow.name = "retry";
+          flow.from_track = track;
+          flow.from_ns = virtual_ns(row.issued);
+          flow.to_track = track;
+          flow.to_ns = virtual_ns(row.link_done);
+          flows.push_back(std::move(flow));
         }
       }
       if (detail.storage_prefix.value() > 0.0 && row.storage_done > row.issued) {
@@ -122,6 +150,8 @@ void build_replay_trace(const std::vector<sim::SampleTimeline>& rows, const Samp
     tracer.record_at(track, SpanCategory::kStoragePrep, "storage_prefix", span.begin, span.end,
                      span.args);
   }
+
+  return flows;
 }
 
 }  // namespace sophon::obs

@@ -46,7 +46,13 @@ using SampleCostFn = std::function<SampleOpCosts(std::uint32_t sample_index)>;
 /// without a worker lane (worker < 0) are skipped. `costs` may be empty, in
 /// which case preprocess spans are emitted whole, without per-op children,
 /// and no storage lanes are laid out.
-void build_replay_trace(const std::vector<sim::SampleTimeline>& rows, const SampleCostFn& costs,
-                        Tracer& tracer);
+///
+/// Returns the causal flow arrows for the trace: one per prefetched sample
+/// (issue on the "prefetch" track -> claim on the consuming worker's lane;
+/// ids are position + 1) and one per retried demand fetch (end of the retry
+/// backoff -> the successful fetch's completion; ids are position + 2^32).
+/// Pass them to the three-argument chrome_trace_json to render the arrows.
+std::vector<TraceFlow> build_replay_trace(const std::vector<sim::SampleTimeline>& rows,
+                                          const SampleCostFn& costs, Tracer& tracer);
 
 }  // namespace sophon::obs

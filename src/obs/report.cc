@@ -89,6 +89,7 @@ EpochReport EpochReport::build(
       row.staging_wait = Seconds(self_ns[SpanCategory::kStagingWait] * kNs);
       row.preprocess = Seconds(self_ns[SpanCategory::kPreprocess] * kNs);
       row.collate = Seconds(self_ns[SpanCategory::kCollate] * kNs);
+      row.retry = Seconds(self_ns[SpanCategory::kRetry] * kNs);
       row.other = Seconds((self_ns[SpanCategory::kOther] + self_ns[SpanCategory::kGpu]) * kNs);
       row.idle = Seconds(std::max(0.0, (wall - row.accounted()).value()));
       row.spans = track_spans.size();
@@ -124,6 +125,12 @@ Seconds EpochReport::total_preprocess() const {
   return total;
 }
 
+Seconds EpochReport::total_retry() const {
+  Seconds total;
+  for (const auto& w : workers_) total += w.retry;
+  return total;
+}
+
 EpochReport::Costs EpochReport::observed() const {
   Costs costs;
   costs.t_g = gpu_busy_;
@@ -156,15 +163,16 @@ std::string EpochReport::render() const {
   std::snprintf(line, sizeof(line), "epoch stall attribution (wall %.3f s, %zu workers)\n",
                 wall_.value(), workers_.size());
   out += line;
-  std::snprintf(line, sizeof(line), "  %-10s %12s %13s %12s %9s %9s %6s\n", "worker",
-                "fetch-stall", "staging-wait", "preprocess", "collate", "idle", "spans");
+  std::snprintf(line, sizeof(line), "  %-10s %12s %13s %12s %9s %9s %9s %6s\n", "worker",
+                "fetch-stall", "staging-wait", "preprocess", "collate", "retry", "idle", "spans");
   out += line;
   for (const auto& w : workers_) {
     std::snprintf(line, sizeof(line),
-                  "  %-10s %12s %13s %12s %9s %9s %6llu\n", w.label.c_str(),
+                  "  %-10s %12s %13s %12s %9s %9s %9s %6llu\n", w.label.c_str(),
                   fmt_seconds(w.fetch_stall).c_str(), fmt_seconds(w.staging_wait).c_str(),
                   fmt_seconds(w.preprocess).c_str(), fmt_seconds(w.collate).c_str(),
-                  fmt_seconds(w.idle).c_str(), static_cast<unsigned long long>(w.spans));
+                  fmt_seconds(w.retry).c_str(), fmt_seconds(w.idle).c_str(),
+                  static_cast<unsigned long long>(w.spans));
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -208,6 +216,7 @@ Json EpochReport::to_json() const {
     row.set("staging_wait_seconds", w.staging_wait.value());
     row.set("preprocess_seconds", w.preprocess.value());
     row.set("collate_seconds", w.collate.value());
+    row.set("retry_seconds", w.retry.value());
     row.set("other_seconds", w.other.value());
     row.set("idle_seconds", w.idle.value());
     row.set("spans", static_cast<std::int64_t>(w.spans));

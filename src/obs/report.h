@@ -39,12 +39,13 @@ struct WorkerBreakdown {
   Seconds staging_wait;
   Seconds preprocess;
   Seconds collate;
+  Seconds retry;  ///< backoff between failed fetch attempts (resilience ladder)
   Seconds other;
   Seconds idle;
   std::uint64_t spans = 0;
 
   [[nodiscard]] Seconds accounted() const {
-    return fetch_stall + staging_wait + preprocess + collate + other;
+    return fetch_stall + staging_wait + preprocess + collate + retry + other;
   }
   /// accounted + idle; equals the wall clock whenever accounted <= wall.
   [[nodiscard]] Seconds total() const { return accounted() + idle; }
@@ -86,6 +87,7 @@ class EpochReport {
   [[nodiscard]] Seconds total_fetch_stall() const;
   [[nodiscard]] Seconds total_staging_wait() const;
   [[nodiscard]] Seconds total_preprocess() const;
+  [[nodiscard]] Seconds total_retry() const;
 
   /// The cost vector as this trace observed it: t_net = link busy,
   /// t_cs = storage-side prefix busy, t_cc = worker preprocess summed and

@@ -22,6 +22,8 @@ std::string_view span_category_name(SpanCategory category) {
       return "transfer";
     case SpanCategory::kGpu:
       return "gpu";
+    case SpanCategory::kRetry:
+      return "retry";
     case SpanCategory::kOther:
       break;
   }
@@ -208,6 +210,12 @@ Tracer& global_tracer() {
 
 Json chrome_trace_json(const std::vector<SpanEvent>& spans,
                        const std::vector<std::pair<std::uint32_t, std::string>>& labels) {
+  return chrome_trace_json(spans, labels, {});
+}
+
+Json chrome_trace_json(const std::vector<SpanEvent>& spans,
+                       const std::vector<std::pair<std::uint32_t, std::string>>& labels,
+                       const std::vector<TraceFlow>& flows) {
   Json events = Json::array();
   for (const auto& [track, label] : labels) {
     Json meta = Json::object();
@@ -241,6 +249,27 @@ Json chrome_trace_json(const std::vector<SpanEvent>& spans,
     if (span.args.prefetched >= 0) args.set("prefetched", span.args.prefetched != 0);
     event.set("args", std::move(args));
     events.push_back(std::move(event));
+  }
+  for (const auto& flow : flows) {
+    Json start = Json::object();
+    start.set("name", flow.name);
+    start.set("cat", flow.name);
+    start.set("ph", "s");
+    start.set("id", static_cast<std::int64_t>(flow.id));
+    start.set("pid", 0);
+    start.set("tid", static_cast<std::int64_t>(flow.from_track));
+    start.set("ts", static_cast<double>(flow.from_ns) / 1e3);
+    events.push_back(std::move(start));
+    Json finish = Json::object();
+    finish.set("name", flow.name);
+    finish.set("cat", flow.name);
+    finish.set("ph", "f");
+    finish.set("bp", "e");  // bind to the enclosing slice at the finish point
+    finish.set("id", static_cast<std::int64_t>(flow.id));
+    finish.set("pid", 0);
+    finish.set("tid", static_cast<std::int64_t>(flow.to_track));
+    finish.set("ts", static_cast<double>(flow.to_ns) / 1e3);
+    events.push_back(std::move(finish));
   }
   Json doc = Json::object();
   doc.set("displayTimeUnit", "ms");

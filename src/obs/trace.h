@@ -47,6 +47,7 @@ enum class SpanCategory : std::uint8_t {
   kTransfer = 5,      ///< bytes occupying the inter-cluster link
   kGpu = 6,           ///< GPU batch service
   kOther = 7,
+  kRetry = 8,         ///< backoff before a fetch retry (resilience ladder)
 };
 
 [[nodiscard]] std::string_view span_category_name(SpanCategory category);
@@ -196,10 +197,30 @@ class Span {
   SpanArgs args_;
 };
 
+/// A causal arrow between two spans, rendered by trace viewers as a flow
+/// line: prefetch issue -> consumer claim, fetch retry -> eventual success.
+/// `id` pairs the start and finish phases ("s"/"f") and must be unique per
+/// flow within one trace.
+struct TraceFlow {
+  std::uint64_t id = 0;
+  std::string name;            ///< flow family, e.g. "prefetch" or "retry"
+  std::uint32_t from_track = 0;
+  std::uint64_t from_ns = 0;   ///< start timestamp (same base as the spans)
+  std::uint32_t to_track = 0;
+  std::uint64_t to_ns = 0;     ///< finish timestamp; >= from_ns
+};
+
 /// Chrome trace-event JSON document for the given spans: one "X" complete
 /// event per span (ts/dur in microseconds) plus "M" thread-name metadata
 /// from `labels`. Loadable by chrome://tracing and Perfetto.
 [[nodiscard]] Json chrome_trace_json(const std::vector<SpanEvent>& spans,
                                      const std::vector<std::pair<std::uint32_t, std::string>>& labels);
+
+/// Same, plus "s"/"f" flow events (one pair per TraceFlow, bound by id) so
+/// the viewer draws the issue->claim and retry->success arrows the
+/// critical-path analyzer reasons over.
+[[nodiscard]] Json chrome_trace_json(const std::vector<SpanEvent>& spans,
+                                     const std::vector<std::pair<std::uint32_t, std::string>>& labels,
+                                     const std::vector<TraceFlow>& flows);
 
 }  // namespace sophon::obs

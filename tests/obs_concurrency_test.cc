@@ -10,7 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/critpath/critpath.h"
+#include "obs/critpath/whatif.h"
 #include "obs/trace.h"
+#include "sim/cluster.h"
 #include "util/telemetry.h"
 
 namespace sophon {
@@ -124,6 +127,90 @@ TEST(ObsConcurrency, TelemetryRegistryCreateExposeSnapshotRace) {
   EXPECT_EQ(total, 4u * 2000u);
   EXPECT_EQ(registry.duration("sophon_d").snapshot().count(), 4u * 2000u);
   EXPECT_EQ(registry.histogram("sophon_h").count(), 4u * 2000u);
+}
+
+obs::critpath::EpochParams concurrency_params() {
+  obs::critpath::EpochParams params;
+  params.cluster.compute_cores = 4;
+  params.cluster.storage_cores = 2;
+  params.cluster.bandwidth = Bandwidth::mbps(400.0);
+  params.cluster.batch_size = 32;
+  params.gpu_batch_time = Seconds(0.02);
+  params.seed = 42;
+  params.epoch_index = 1;
+  params.num_samples = 384;
+  params.discipline = obs::critpath::Discipline::kWorkerReplay;
+  params.replay.workers = 3;
+  params.replay.prefetch.depth = 8;
+  return params;
+}
+
+obs::critpath::SampleDemand concurrency_demand(std::size_t i) {
+  obs::critpath::SampleDemand d;
+  d.storage_cpu = i % 3 == 0 ? Seconds(0.002) : Seconds(0.0);
+  d.compute_cpu = Seconds(0.001 * static_cast<double>(i % 4));
+  d.wire = Bytes(static_cast<std::int64_t>((i % 7 + 1)) * 65536);
+  d.delay = i % 11 == 0 ? Seconds(0.0005) : Seconds(0.0);
+  return d;
+}
+
+TEST(ObsConcurrency, AnalyzerIsDeterministicAcrossConcurrentRuns) {
+  // The analyzer holds no global state: N threads analyzing the same epoch
+  // must produce byte-identical blame vectors and scenario rankings.
+  const auto params = concurrency_params();
+  const auto reference =
+      obs::critpath::project(concurrency_demand, params,
+                             obs::critpath::default_scenarios(params))
+          .to_json()
+          .dump();
+  constexpr std::size_t kThreads = 6;
+  std::vector<std::string> dumps(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&params, &dumps, t] {
+      dumps[t] = obs::critpath::project(concurrency_demand, params,
+                                        obs::critpath::default_scenarios(params))
+                     .to_json()
+                     .dump();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& dump : dumps) {
+    EXPECT_EQ(dump, reference);
+  }
+}
+
+TEST(ObsConcurrency, AnalyzerRunsWhileTracerWritersAreLive) {
+  // An operator may re-time the last epoch while the next one is already
+  // recording spans: the analyzer touches no tracer state, so it must fold
+  // cleanly against live writers (TSan enforces the claim).
+  obs::Tracer tracer(1 << 12);
+  tracer.set_enabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&tracer, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::Span span(tracer, obs::SpanCategory::kPreprocess, "op");
+        span.args().sample = static_cast<std::int64_t>(i++);
+      }
+    });
+  }
+  const auto params = concurrency_params();
+  const auto a = obs::critpath::analyze_epoch(concurrency_demand, params);
+  const auto b = obs::critpath::analyze_epoch(concurrency_demand, params);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_GT(a.epoch_time.value(), 0.0);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : writers) thread.join();
+  tracer.set_enabled(false);
+  const auto spans = tracer.drain();
+  for (const auto& span : spans) {
+    EXPECT_GE(span.end_ns, span.begin_ns);
+  }
 }
 
 }  // namespace

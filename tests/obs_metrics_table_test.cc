@@ -16,6 +16,7 @@
 #include "loader/loader.h"
 #include "net/fault.h"
 #include "net/resilience.h"
+#include "obs/critpath/monitor.h"
 #include "obs/health.h"
 #include "obs/ledger.h"
 #include "obs/metrics_table.h"
@@ -126,6 +127,7 @@ void populate_full_run(MetricsRegistry& metrics) {
   FlightRecorder recorder(metrics);
   HealthEvaluator health(default_health_rules());
   TrafficLedger sim_ledger({.top_k = 8, .metrics = &metrics});
+  critpath::CritPathMonitor critpath_monitor(&metrics);
   core::adapt::RunOptions options;
   options.epochs = 6;
   options.faults = &faults;
@@ -137,9 +139,11 @@ void populate_full_run(MetricsRegistry& metrics) {
   options.telemetry.recorder = &recorder;
   options.telemetry.health = &health;
   options.telemetry.ledger = &sim_ledger;
+  options.telemetry.critpath = &critpath_monitor;
   const auto result = core::adapt::run_adaptive(big, pipe, cm, planned, Seconds(1.0), options);
   ASSERT_EQ(result.rows.size(), 6u);
   ASSERT_GT(health.evaluations(), 0u);
+  ASSERT_EQ(critpath_monitor.epochs(), 6u);
 }
 
 void expect_known(const std::string& name, MetricKind kind) {
@@ -168,6 +172,8 @@ TEST(MetricsTableDrift, EveryEmittedNameIsPreRegistered) {
   EXPECT_GT(snap.counters.count("sophon_fetch_attempt_bytes"), 0u);
   EXPECT_GT(snap.counters.count("sophon_ledger_records"), 0u);
   EXPECT_GT(snap.gauges.count("sophon_ledger_unattributed_bytes"), 0u);
+  EXPECT_GT(snap.gauges.count("sophon_critpath_bottleneck"), 0u);
+  EXPECT_GT(snap.gauges.count("sophon_critpath_blame_link_seconds"), 0u);
 
   for (const auto& [name, value] : snap.counters) expect_known(name, MetricKind::kCounter);
   for (const auto& [name, value] : snap.gauges) expect_known(name, MetricKind::kGauge);
@@ -233,7 +239,8 @@ TEST(MetricsTable, HealthRuleInputsAreTableRows) {
         "sophon_shard_corrupt", "sophon_fetch_corrupt", "sophon_diskstore_corrupt",
         "sophon_fetch_attempts", "sophon_replan_checks", "sophon_replan_triggered",
         "sophon_prefetch_buffer_highwater_bytes", "sophon_prefetch_buffer_budget_bytes",
-        "sophon_epoch_link_utilization", "sophon_health_state"}) {
+        "sophon_epoch_link_utilization", "sophon_health_state",
+        "sophon_critpath_bottleneck_migrations"}) {
     EXPECT_NE(find_metric(name), nullptr) << name;
   }
 }

@@ -8,10 +8,13 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault.h"
+#include "net/resilience.h"
 #include "obs/replay_trace.h"
 #include "prefetch/replay.h"
 #include "sim/cluster.h"
 #include "sim/trace.h"
+#include "sim/trainer.h"
 
 namespace sophon::obs {
 namespace {
@@ -197,6 +200,96 @@ TEST(EpochReport, ReplayReconciliationWithinOnePercent) {
     EXPECT_LE(worker.accounted().value(), result.epoch.epoch_time.value() * 1.01);
     within_1pct(worker.total(), result.epoch.epoch_time);
   }
+}
+
+TEST(EpochReport, FaultyReplayReconcilesWithRetryBucket) {
+  // Under fault injection the resilience ladder charges backoff as injected
+  // delay; the trace records those windows as kRetry spans nested inside the
+  // demand fetch. They must land in the distinct `retry` bucket — not
+  // inflate fetch-stall — and the bucket must reconcile with the fault
+  // replay's own backoff accounting.
+  constexpr std::size_t kSamples = 256;
+  sim::ClusterConfig cluster;
+  cluster.compute_cores = 16;
+  cluster.storage_cores = 4;
+  cluster.bandwidth = Bandwidth::mbps(1000.0);
+  cluster.batch_size = 64;
+
+  const auto clean_flow = [](std::size_t) {
+    sim::SampleFlow f;
+    f.storage_cpu = Seconds(0.002);  // offloaded, so offload-only faults apply
+    f.wire = Bytes(1 << 19);
+    f.compute_cpu = Seconds(0.004);
+    return f;
+  };
+  const auto raw_flow = [](std::size_t) {
+    sim::SampleFlow f;
+    f.wire = Bytes(1 << 20);
+    f.compute_cpu = Seconds(0.008);
+    return f;
+  };
+  net::FaultProfile profile;
+  profile.transient_fail_prob = 0.3;  // plenty of retries, ladders rarely exhaust
+  profile.seed = 7;
+  const net::FaultInjector faults{profile};
+  net::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.seed = profile.seed;
+  sim::FaultReplayStats replay_stats;
+  const auto flow =
+      sim::faulty_flow(clean_flow, raw_flow, faults, retry, /*epoch_index=*/1, &replay_stats);
+
+  prefetch::ReplayOptions options;
+  options.workers = 4;
+  options.prefetch.depth = 0;  // all demand: the flow runs exactly once per sample
+
+  Tracer& tracer = global_tracer();
+  (void)tracer.drain();
+  tracer.set_capacity(kSamples * 8 + 1024);
+  tracer.set_enabled(true);
+  sim::TraceRecorder recorder;
+  const auto result = prefetch::replay_epoch(kSamples, flow, cluster, Seconds(0.05),
+                                             /*seed=*/42, /*epoch=*/1, options, recorder.sink());
+  const auto flows = build_replay_trace(recorder.rows(), {}, tracer);
+  tracer.set_enabled(false);
+  const auto spans = tracer.drain();
+  ASSERT_GT(replay_stats.retries, 0u);
+  ASSERT_GT(replay_stats.backoff.value(), 0.0);
+
+  const auto report = EpochReport::build(spans, tracer.labels(), result.epoch.epoch_time);
+  ASSERT_EQ(report.workers().size(), 4u);
+
+  // The retry bucket is the backoff — exactly what faulty_flow charged.
+  EXPECT_NEAR(report.total_retry().value(), replay_stats.backoff.value(),
+              0.01 * replay_stats.backoff.value());
+  // And fetch-stall no longer swallows it: stall components plus retry
+  // reconcile with the replay's own worker-stall counter (which spans the
+  // whole claim-to-arrival round trip, backoff included).
+  const double stall = report.total_fetch_stall().value() + report.total_staging_wait().value() +
+                       report.total_retry().value();
+  EXPECT_NEAR(stall, result.prefetch.worker_stall.value(),
+              0.01 * result.prefetch.worker_stall.value());
+  // Every retried sample emitted one retry->success flow arrow, ids in the
+  // dedicated retry id space.
+  std::size_t retried_rows = 0;
+  for (const auto& row : recorder.rows()) {
+    if (!row.prefetched && row.issued > row.claimed) ++retried_rows;
+  }
+  std::size_t retry_flows = 0;
+  for (const auto& flow_event : flows) {
+    if (flow_event.name == "retry") {
+      EXPECT_GE(flow_event.id, std::uint64_t{1} << 32);
+      EXPECT_GE(flow_event.to_ns, flow_event.from_ns);
+      ++retry_flows;
+    }
+  }
+  EXPECT_EQ(retry_flows, retried_rows);
+  EXPECT_GT(retry_flows, 0u);
+  // Per-worker closure still holds under faults.
+  for (const auto& worker : report.workers()) {
+    EXPECT_LE(worker.accounted().value(), result.epoch.epoch_time.value() * 1.01);
+  }
+  EXPECT_NE(report.to_json().at("workers").at(0).has("retry_seconds"), false);
 }
 
 }  // namespace

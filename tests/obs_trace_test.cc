@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -193,6 +194,48 @@ TEST(Tracer, ChromeTraceJsonSchema) {
   EXPECT_TRUE(checked);
 
   // The document round-trips through the in-repo parser.
+  EXPECT_TRUE(Json::parse(doc.dump()).has_value());
+}
+
+TEST(Tracer, ChromeTraceJsonEmitsPairedFlowEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t prefetch = tracer.track("prefetch");
+  const std::uint32_t worker = tracer.track("worker-0");
+  tracer.record_at(prefetch, SpanCategory::kOther, "prefetch_issue", Seconds(0.0), Seconds(1.0));
+  tracer.record_at(worker, SpanCategory::kStagingWait, "staging_wait", Seconds(0.5), Seconds(1.0));
+  tracer.record_at(worker, SpanCategory::kRetry, "retry_backoff", Seconds(2.0), Seconds(2.5));
+  const std::vector<TraceFlow> flows{
+      {1, "prefetch", prefetch, 0, worker, 1'000'000'000},
+      {(std::uint64_t{1} << 32) + 0, "retry", worker, 2'500'000'000, worker, 3'000'000'000},
+  };
+  const Json doc = chrome_trace_json(tracer.drain(), tracer.labels(), flows);
+  const Json& events = doc.at("traceEvents");
+
+  // Every flow id appears exactly once as a start ("s") and once as a finish
+  // ("f"), on the right tracks, finish bound to the enclosing slice.
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> phases;  // id -> (s, f)
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    const std::string& ph = event.at("ph").as_string();
+    if (ph != "s" && ph != "f") continue;
+    ASSERT_TRUE(event.has("id"));
+    auto& [starts, finishes] = phases[event.at("id").as_int()];
+    if (ph == "s") {
+      ++starts;
+    } else {
+      ++finishes;
+      EXPECT_EQ(event.at("bp").as_string(), "e");
+    }
+  }
+  ASSERT_EQ(phases.size(), 2u);
+  for (const auto& [id, counts] : phases) {
+    EXPECT_EQ(counts.first, 1u) << "flow " << id;
+    EXPECT_EQ(counts.second, 1u) << "flow " << id;
+  }
+  // Prefetch and retry flows occupy disjoint id spaces.
+  EXPECT_TRUE(phases.contains(1));
+  EXPECT_TRUE(phases.contains(static_cast<std::int64_t>(std::uint64_t{1} << 32)));
   EXPECT_TRUE(Json::parse(doc.dump()).has_value());
 }
 

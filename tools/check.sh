@@ -32,6 +32,14 @@
 #                             against itself with --expect-zero — the
 #                             round-trip proof that export → parse → diff is
 #                             lossless and a run diffs clean against itself.
+#   tools/check.sh --critpath-smoke
+#                             build sophonctl, run `whatif` (every ranked
+#                             projection validated against a real simulator
+#                             re-run — the command exits non-zero on any
+#                             out-of-tolerance scenario) and a traced
+#                             simulate with --critpath-out, then check the
+#                             analysis JSON and the flow-annotated trace.
+#                             Also runs as part of the default check.
 #   tools/check.sh --bench-regress
 #                             re-run the ablations that commit BENCH_*.json
 #                             artifacts (prefetch, adapt, materialize) in a
@@ -57,7 +65,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # ctest switches, generic placeholders) — those live on the allowlist.
 check_docs() {
   local help flags_help flags_docs commands missing stale ok=0
-  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|bench-regress|ledger-smoke|build|target|test-dir|output-on-failure|key)$'
+  local allowlist='^--(tsan|asan|ubsan|trace-smoke|docs|bench-regress|ledger-smoke|critpath-smoke|build|target|test-dir|output-on-failure|key)$'
   help=$(build/tools/sophonctl help)
 
   flags_help=$(printf '%s\n' "$help" | grep -oE '^\s*--[a-z][a-z0-9-]*' | tr -d ' ' | sort -u)
@@ -98,9 +106,30 @@ sanitized_targets=(
   prefetch_staging_test prefetch_replay_test
   net_resilience_test net_rpc_test net_link_test net_wire_test
   obs_concurrency_test obs_timeseries_test obs_health_test obs_telemetry_server_test
+  obs_critpath_test
   shard_format_test storage_shard_serving_test storage_disk_test
 )
-sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency|FlightRecorder|Health|Wire|Crc32|Shard|DiskStore'
+sanitized_regex='Loader|Prefetch|StagingBuffer|Admission|Resilience|Backoff|FaultInjector|FaultyService|LinkFaults|Rpc|Tracer|SpanRing|Telemetry|ObsConcurrency|FlightRecorder|Health|Wire|Crc32|Shard|DiskStore|CritPath|WhatIf|Monitor'
+
+# Critical-path smoke: the whatif command validates every ranked projection
+# against a real simulator re-run (it exits non-zero if any scenario misses
+# tolerance), and a traced simulate must produce both the analysis JSON and
+# a flow-annotated trace that validate-trace accepts.
+check_critpath() {
+  local tmp
+  tmp=$(mktemp -d)
+  # shellcheck disable=SC2064
+  trap "rm -rf '$tmp'" RETURN
+  build/tools/sophonctl whatif --dataset openimages --samples 1000 --mbps 100 \
+    --storage-cores 4 --replay 1 --prefetch-depth 8 --out "$tmp/whatif.json"
+  build/tools/sophonctl simulate --dataset openimages --samples 500 --mbps 100 \
+    --prefetch-depth 8 --workers 4 --trace-out="$tmp/trace.json" \
+    --critpath-out="$tmp/cp.json"
+  grep -q 'sophon.critpath' "$tmp/cp.json"
+  grep -q 'sophon.whatif' "$tmp/whatif.json"
+  build/tools/sophonctl validate-trace --in "$tmp/trace.json"
+  echo "critpath-smoke OK: projections validated and the critical-path trace is well-formed"
+}
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSOPHON_SANITIZE=thread
@@ -134,6 +163,10 @@ elif [[ "${1:-}" == "--ledger-smoke" ]]; then
   build/tools/sophonctl traffic-diff --a "$tmp/ledger.json" --b "$tmp/ledger.json" \
     --expect-zero
   echo "ledger-smoke OK: export round-trips and diffs clean against itself"
+elif [[ "${1:-}" == "--critpath-smoke" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target sophonctl
+  check_critpath
 elif [[ "${1:-}" == "--docs" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target sophonctl
@@ -141,25 +174,30 @@ elif [[ "${1:-}" == "--docs" ]]; then
 elif [[ "${1:-}" == "--bench-regress" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target sophonctl ablation_prefetch ablation_adapt \
-    ablation_materialize
+    ablation_materialize critpath_accuracy
   repo=$(pwd)
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' EXIT
-  for bench in prefetch adapt materialize; do
-    echo "bench-regress: re-running ablation_$bench"
-    (cd "$tmp" && "$repo/build/bench/ablation_$bench" > /dev/null)
+  for bench in prefetch adapt materialize critpath; do
+    case "$bench" in
+      critpath) bin=critpath_accuracy ;;
+      *) bin=ablation_$bench ;;
+    esac
+    echo "bench-regress: re-running $bin"
+    (cd "$tmp" && "$repo/build/bench/$bin" > /dev/null)
     "$repo/build/tools/sophonctl" bench-compare \
       --baseline "$repo/BENCH_$bench.json" \
       --candidate "$tmp/BENCH_$bench.json" \
       --tolerance 0.05
   done
-  echo "bench-regress OK: prefetch, adapt, materialize match the committed artifacts"
+  echo "bench-regress OK: prefetch, adapt, materialize, critpath match the committed artifacts"
 elif [[ $# -gt 0 ]]; then
-  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs|--ledger-smoke|--bench-regress]" >&2
+  echo "usage: tools/check.sh [--tsan|--asan|--ubsan|--trace-smoke|--docs|--ledger-smoke|--critpath-smoke|--bench-regress]" >&2
   exit 2
 else
   cmake -B build -S .
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs"
   check_docs
+  check_critpath
 fi

@@ -6,11 +6,13 @@
 //   sophonctl simulate --dataset openimages --samples 40000 --plan plan.json
 //                      --mbps 500 --storage-cores 8
 //                      [--prefetch-depth 16 --prefetch-budget-mib 64 --workers 4]
-//                      [--trace-out=trace.json --report]
+//                      [--trace-out=trace.json --report --critpath-out=cp.json]
 //                      [--adapt --epochs 10 --bw-drop-factor 4 --bw-drop-epoch 3]
 //   sophonctl evaluate --dataset imagenet --samples 90000 --mbps 500
 //   sophonctl calibrate --repeats 3 --out coeffs.json
 //   sophonctl ingest --dataset openimages --samples 64 --dir /tmp/ds
+//   sophonctl whatif --dataset openimages --samples 1000 --mbps 100
+//                    --replay 1 --prefetch-depth 8
 //   sophonctl validate-trace --in trace.json
 //   sophonctl help [command]
 //
@@ -50,6 +52,8 @@
 #include "net/fault.h"
 #include "net/resilience.h"
 #include "net/wire.h"
+#include "obs/critpath/critpath.h"
+#include "obs/critpath/whatif.h"
 #include "obs/health.h"
 #include "obs/ledger.h"
 #include "obs/metrics_table.h"
@@ -620,8 +624,9 @@ int cmd_simulate(const Flags& flags) {
   // Traced run: replay the epoch through the worker-level model with span
   // tracing on, export Chrome trace JSON and/or the stall attribution.
   const auto trace_out = flags.str("trace-out", "");
+  const auto critpath_out = flags.str("critpath-out", "");
   const bool want_report = flags.flag("report");
-  if (!trace_out.empty() || want_report) {
+  if (!trace_out.empty() || want_report || !critpath_out.empty()) {
     prefetch::ReplayOptions replay_options;
     replay_options.workers = static_cast<std::size_t>(flags.integer("workers", 4));
     replay_options.prefetch.depth =
@@ -650,18 +655,59 @@ int cmd_simulate(const Flags& flags) {
       }
       return detail;
     };
-    obs::build_replay_trace(recorder.rows(), costs, tracer);
+    const auto flows = obs::build_replay_trace(recorder.rows(), costs, tracer);
+
+    // Critical-path analysis of the traced epoch: re-time the exact same
+    // demands, decompose the blame vector, rank the stock what-if scenarios,
+    // and overlay the path as a highlighted track in the Chrome trace.
+    if (!critpath_out.empty()) {
+      obs::critpath::EpochParams params;
+      params.cluster = cluster;
+      params.gpu_batch_time = gpu_batch;
+      params.seed = seed;
+      params.epoch_index = epoch;
+      params.num_samples = catalog.size();
+      params.discipline = obs::critpath::Discipline::kWorkerReplay;
+      params.replay = replay_options;
+      const obs::critpath::DemandFn demand = [&flow](std::size_t i) {
+        const auto f = flow(i);
+        return obs::critpath::SampleDemand{f.storage_cpu, f.compute_cpu, f.wire, f.delay};
+      };
+      const auto whatif = obs::critpath::project(demand, params,
+                                                 obs::critpath::default_scenarios(params),
+                                                 traced.epoch.epoch_time);
+      const auto& analysis = whatif.baseline;
+      std::printf("%s%s", analysis.render().c_str(), whatif.render().c_str());
+      const std::uint32_t critpath_track = tracer.track("critical-path");
+      for (const auto& segment : analysis.path) {
+        obs::SpanArgs args;
+        args.sample = segment.sample;
+        args.position = segment.position;
+        tracer.record_at(critpath_track, obs::SpanCategory::kOther,
+                         obs::critpath::resource_name(segment.via), segment.begin, segment.end,
+                         args);
+      }
+      Json doc = analysis.to_json();
+      doc.set("whatif", whatif.to_json());
+      if (!core::save_json_file(doc, critpath_out)) {
+        std::fprintf(stderr, "cannot write %s\n", critpath_out.c_str());
+        return 1;
+      }
+      std::printf("wrote critical-path analysis to %s\n", critpath_out.c_str());
+    }
+
     tracer.set_enabled(false);
     const auto spans = tracer.drain();
     const auto labels = tracer.labels();
 
     if (!trace_out.empty()) {
-      if (!core::save_json_file(obs::chrome_trace_json(spans, labels), trace_out)) {
+      if (!core::save_json_file(obs::chrome_trace_json(spans, labels, flows), trace_out)) {
         std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
         return 1;
       }
-      std::printf("wrote %zu spans (%llu dropped) to %s\n", spans.size(),
-                  static_cast<unsigned long long>(tracer.dropped()), trace_out.c_str());
+      std::printf("wrote %zu spans + %zu flows (%llu dropped) to %s\n", spans.size(),
+                  flows.size(), static_cast<unsigned long long>(tracer.dropped()),
+                  trace_out.c_str());
     }
     if (want_report) {
       auto report = obs::EpochReport::build(spans, labels, traced.epoch.epoch_time);
@@ -684,6 +730,129 @@ int cmd_simulate(const Flags& flags) {
   return 0;
 }
 
+/// Run the real simulator under one EpochParams config — the ground truth
+/// the what-if projections are validated against.
+Seconds simulate_under_params(const obs::critpath::EpochParams& params,
+                              const std::function<sim::SampleFlow(std::size_t)>& flow) {
+  if (params.discipline == obs::critpath::Discipline::kWorkerReplay) {
+    return prefetch::replay_epoch(params.num_samples, flow, params.cluster,
+                                  params.gpu_batch_time, params.seed, params.epoch_index,
+                                  params.replay)
+        .epoch.epoch_time;
+  }
+  return sim::simulate_epoch_flows(params.num_samples, flow, params.cluster,
+                                   params.gpu_batch_time, params.seed, params.epoch_index)
+      .epoch_time;
+}
+
+/// Re-time one epoch, decompose the critical path, rank the stock what-if
+/// scenarios, and (by default) validate every projection against a real
+/// simulator re-run under the perturbed config.
+int cmd_whatif(const Flags& flags) {
+  const auto name = flags.str("dataset", "openimages");
+  const auto samples = static_cast<std::size_t>(flags.integer("samples", 40000));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed", 42));
+  const auto epoch = static_cast<std::size_t>(flags.integer("epoch", 0));
+  const auto catalog = dataset::Catalog::generate(profile_for(name, samples), seed);
+  const auto pipe = pipeline::Pipeline::standard();
+  const pipeline::CostModel cm;
+
+  core::OffloadPlan plan(catalog.size());
+  if (const auto path = flags.str("plan", ""); !path.empty()) {
+    const auto loaded = core::load_json_file(path);
+    auto parsed = loaded ? core::plan_from_json(*loaded) : std::nullopt;
+    if (!parsed || parsed->size() != catalog.size()) {
+      std::fprintf(stderr, "plan %s missing or wrong size\n", path.c_str());
+      return 1;
+    }
+    plan = std::move(*parsed);
+  }
+
+  const auto cluster = cluster_from(flags);
+  const auto gpu = model::GpuModel::lookup(model::NetKind::kAlexNet, model::GpuKind::kRtx6000);
+
+  obs::critpath::EpochParams params;
+  params.cluster = cluster;
+  params.gpu_batch_time = gpu.batch_time(cluster.batch_size);
+  params.seed = seed;
+  params.epoch_index = epoch;
+  params.num_samples = catalog.size();
+  if (flags.integer("replay", 0) != 0) {
+    params.discipline = obs::critpath::Discipline::kWorkerReplay;
+    params.replay.workers = static_cast<std::size_t>(flags.integer("workers", 4));
+    params.replay.prefetch.depth =
+        static_cast<std::size_t>(flags.integer("prefetch-depth", 0));
+    params.replay.prefetch.bytes_budget = Bytes::mib(flags.integer("prefetch-budget-mib", 0));
+  }
+
+  const auto flow = [&](std::size_t idx) {
+    const auto& meta = catalog.sample(idx);
+    const std::size_t prefix = plan.prefix(idx);
+    sim::SampleFlow f;
+    if (prefix > 0) f.storage_cpu = pipe.prefix_cost(meta.raw, prefix, cm);
+    f.wire = net::wire_size(pipe.shape_at(meta.raw, prefix));
+    f.compute_cpu = pipe.suffix_cost(meta.raw, prefix, cm);
+    return f;
+  };
+  const obs::critpath::DemandFn demand = [&flow](std::size_t i) {
+    const auto f = flow(i);
+    return obs::critpath::SampleDemand{f.storage_cpu, f.compute_cpu, f.wire, f.delay};
+  };
+
+  const Seconds observed = simulate_under_params(params, flow);
+  const auto report = obs::critpath::project(demand, params,
+                                             obs::critpath::default_scenarios(params), observed);
+  std::printf("%s%s", report.baseline.render().c_str(), report.render().c_str());
+
+  int exit_code = 0;
+  Json doc = report.to_json();
+  if (flags.integer("validate", 1) != 0) {
+    // Every projection must match a real simulator re-run under the
+    // perturbed config — the check that keeps the retimer honest.
+    const double tolerance = flags.number("tolerance", 0.05);
+    std::size_t validated = 0;
+    Json verdicts = Json::array();
+    for (const auto& projection : report.ranked) {
+      const Seconds actual = simulate_under_params(projection.params, flow);
+      const double reference = std::max(actual.value(), 1e-12);
+      const double error =
+          std::fabs(projection.projected_epoch_time.value() - actual.value()) / reference;
+      const bool ok = error <= tolerance;
+      std::printf("  %-22s projected %9.3f s | simulated %9.3f s | error %.2e %s\n",
+                  projection.name.c_str(), projection.projected_epoch_time.value(),
+                  actual.value(), error, ok ? "OK" : "FAIL");
+      Json verdict = Json::object();
+      verdict.set("name", projection.name);
+      verdict.set("simulated_epoch_time_seconds", actual.value());
+      verdict.set("rel_error", error);
+      verdict.set("ok", ok);
+      verdicts.push_back(std::move(verdict));
+      if (ok) {
+        ++validated;
+      } else {
+        exit_code = 1;
+      }
+    }
+    std::printf("what-if validated: %zu of %zu scenarios within %.0f%%\n", validated,
+                report.ranked.size(), 100.0 * tolerance);
+    Json validation = Json::object();
+    validation.set("tolerance", tolerance);
+    validation.set("validated", static_cast<std::int64_t>(validated));
+    validation.set("total", static_cast<std::int64_t>(report.ranked.size()));
+    validation.set("scenarios", std::move(verdicts));
+    doc.set("validation", std::move(validation));
+  }
+
+  if (const auto out = flags.str("out", ""); !out.empty()) {
+    if (!core::save_json_file(doc, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote what-if report to %s\n", out.c_str());
+  }
+  return exit_code;
+}
+
 /// Schema-check a Chrome trace-event document with the in-repo JSON parser:
 /// structural validity plus the event fields Perfetto needs. --strict
 /// additionally requires the sample-lifecycle span categories.
@@ -702,6 +871,9 @@ int cmd_validate_trace(const Flags& flags) {
   const auto& events = loaded->at("traceEvents");
   std::map<std::string, std::size_t> categories;
   std::map<std::string, std::size_t> time_bases;
+  // Flow-event pairing: each id must appear exactly once as a start ("s")
+  // and once as a finish ("f") — a dangling arrow is a malformed trace.
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> flow_phases;
   std::size_t complete = 0;
   std::size_t metadata = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -719,6 +891,20 @@ int cmd_validate_trace(const Flags& flags) {
       ++metadata;
       continue;
     }
+    if (ph == "s" || ph == "f") {
+      if (!event.has("id")) return fail("flow event lacks an id");
+      if (!event.has("ts")) return fail("lacks ts");
+      auto& [starts, finishes] = flow_phases[event.at("id").as_int()];
+      if (ph == "s") {
+        ++starts;
+      } else {
+        if (!event.has("bp") || event.at("bp").as_string() != "e") {
+          return fail("flow finish is not bound to the enclosing slice (bp != e)");
+        }
+        ++finishes;
+      }
+      continue;
+    }
     if (ph != "X") return fail("has unsupported phase");
     if (!event.has("ts") || !event.has("dur")) return fail("lacks ts/dur");
     if (event.at("dur").as_number() < 0.0) return fail("has negative duration");
@@ -729,6 +915,13 @@ int cmd_validate_trace(const Flags& flags) {
     }
     if (event.has("cat")) ++categories[event.at("cat").as_string()];
     ++complete;
+  }
+  for (const auto& [id, phases] : flow_phases) {
+    if (phases.first != 1 || phases.second != 1) {
+      std::fprintf(stderr, "%s: flow id %lld has %zu start(s) and %zu finish(es), want 1+1\n",
+                   in.c_str(), static_cast<long long>(id), phases.first, phases.second);
+      return 1;
+    }
   }
   if (flags.integer("strict", 1) != 0) {
     for (const char* required : {"preprocess", "transfer"}) {
@@ -751,7 +944,8 @@ int cmd_validate_trace(const Flags& flags) {
       return 1;
     }
   }
-  std::printf("trace OK: %zu spans, %zu thread names", complete, metadata);
+  std::printf("trace OK: %zu spans, %zu thread names, %zu flows", complete, metadata,
+              flow_phases.size());
   for (const auto& [category, count] : categories) {
     std::printf(" | %s %zu", category.c_str(), count);
   }
@@ -1175,6 +1369,8 @@ const std::vector<CommandSpec>& commands() {
             {"trace-out", "FILE", "write a Chrome trace of the replayed epoch"},
             {"report", "", "print the epoch stall-attribution report"},
             {"report-out", "FILE", "write the stall report JSON"},
+            {"critpath-out", "FILE", "write the critical-path analysis + ranked what-if "
+                                     "scenarios JSON (adds a critical-path trace track)"},
             {"adapt", "0|1", "multi-epoch adaptive run (0 = static multi-epoch baseline)"},
             {"epochs", "N", "epochs for the --adapt run (default 10)"},
             {"drift-threshold", "X", "re-plan when drift exceeds this (default 0.2)"},
@@ -1221,6 +1417,23 @@ const std::vector<CommandSpec>& commands() {
                     {"out", "FILE", "write timeline JSON"}},
                    true, true),
        cmd_trace},
+      {"whatif", "re-time an epoch under perturbed resources and rank validated scenarios",
+       with_common({{"plan", "FILE", "offload plan from decide (default: no offloading)"},
+                    {"epoch", "N", "epoch index to analyze (default 0)"},
+                    {"replay", "0|1",
+                     "worker-level replay discipline instead of the batch-window trainer "
+                     "(default 0)"},
+                    {"workers", "N", "loader workers for --replay 1 (default 4)"},
+                    {"prefetch-depth", "N", "prefetch depth for --replay 1 (default 0)"},
+                    {"prefetch-budget-mib", "N",
+                     "staging byte budget for --replay 1 (0 = unbounded)"},
+                    {"validate", "0|1",
+                     "re-run the simulator under each scenario and check the projection "
+                     "(default 1)"},
+                    {"tolerance", "X", "max relative projection error per scenario (default 0.05)"},
+                    {"out", "FILE", "write the what-if report JSON"}},
+                   true, true),
+       cmd_whatif},
       {"validate-trace", "schema-check a Chrome trace produced by simulate --trace-out",
        {{"in", "FILE", "trace JSON to validate (required)"},
         {"strict", "0|1", "require span coverage and a single time base (default 1)"}},
@@ -1308,7 +1521,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: sophonctl <command> [flags]\n"
                "commands: gen-profiles | decide | simulate | evaluate | ingest | pack | "
-               "inspect-shard | calibrate | trace | validate-trace | monitor | "
+               "inspect-shard | calibrate | trace | whatif | validate-trace | monitor | "
                "bench-compare | traffic-report | traffic-diff | help\n");
 }
 
